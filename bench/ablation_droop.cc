@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Voltage-noise (di/dt droop) ablation.
+ *
+ * The paper's related work (Reddi et al. [4, 17], Kim et al.
+ * [28, 29]) studies activity-swing-induced voltage droops as a
+ * distinct margin consumer. The calibrated model assumes the stiff
+ * power-delivery network of the X-Gene 2 testbed (droop folded into
+ * the static guardband); this ablation re-exposes the mechanism and
+ * sweeps its magnitude, showing how a droopier PDN would raise the
+ * observed Vmin — and why phase-swinging workloads suffer more.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/campaign.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+namespace
+{
+
+/** Vmin for one cell under a given droop sensitivity. */
+MilliVolt
+vminWithDroop(sim::Platform &platform, const std::string &workload,
+              CoreId core, double droop_sensitivity)
+{
+    CampaignRunner runner(&platform);
+    std::vector<ClassifiedRun> runs;
+    for (uint32_t rep = 0; rep < 8; ++rep) {
+        CampaignConfig config;
+        config.workload = wl::findWorkload(workload);
+        config.core = core;
+        config.startVoltage = 945;
+        config.endVoltage = 840;
+        config.maxEpochs = 15;
+        config.campaignIndex = rep;
+        // Thread the droop sensitivity through the execution
+        // overrides the campaign passes to every run.
+        config.droopSensitivityMv = droop_sensitivity;
+        const auto result = runner.run(config);
+        runs.insert(runs.end(), result.runs.begin(),
+                    result.runs.end());
+    }
+    return analyzeRegions(runs, workload, core).vmin;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "di/dt droop ablation (related work [4, 17, "
+                      "28]): Vmin vs PDN droopiness");
+
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           1);
+
+    util::TablePrinter table({"workload@core", "stiff PDN (0 mV)",
+                              "droopy (150 mV/swing)",
+                              "very droopy (300 mV/swing)"});
+    bool monotone = true;
+    for (const char *workload :
+         {"bwaves/ref", "mcf/ref", "namd/ref"}) {
+        for (CoreId core : {0, 4}) {
+            const MilliVolt v0 =
+                vminWithDroop(platform, workload, core, 0.0);
+            const MilliVolt v1 =
+                vminWithDroop(platform, workload, core, 150.0);
+            const MilliVolt v2 =
+                vminWithDroop(platform, workload, core, 300.0);
+            table.addRow({std::string(workload) + "@c" +
+                              std::to_string(core),
+                          std::to_string(v0), std::to_string(v1),
+                          std::to_string(v2)});
+            monotone = monotone && v1 >= v0 && v2 >= v1;
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\ndroop monotonicity (more PDN noise never lowers "
+                 "Vmin): "
+              << (monotone ? "HOLDS" : "VIOLATED")
+              << "\nreading: a droopier power-delivery network "
+                 "converts activity swings into lost timing\n"
+                 "margin, raising the measured Vmin — margin that a "
+                 "static characterization on a stiff PDN\n"
+                 "(like the paper's) correctly attributes to the "
+                 "voltage guardband instead.\n";
+    return monotone ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Section 4.3.1 reproduction (case 1): predict the safe Vmin of the
+ * most sensitive core from the PMU counters of 40 workload samples.
+ * The paper's finding is NEGATIVE: RMSE is good (~5 mV, 0.51% of
+ * nominal) but R2 is close to 0 and the naive mean prediction is
+ * equally efficient, because the dynamic Vmin range is narrow.
+ */
+
+#include <iostream>
+
+#include "predict_common.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Case 1 (4.3.1): Vmin prediction, most "
+                      "sensitive core (core 0, TTT)");
+    const auto outcome = bench::runPredictionCase(
+        bench::PredictionTarget::Vmin, 0);
+    bench::printPredictionReport(outcome, 5.0, 5.0, 0.0);
+
+    const auto &eval = outcome.evaluation;
+    std::cout << "\npaper's conclusion to verify: the naive "
+                 "prediction is about as good as the\nmodel ("
+              << util::formatDouble(eval.naiveRmse, 2) << " vs "
+              << util::formatDouble(eval.rmse, 2)
+              << " mV RMSE here), and RMSE stays ~0.5% of the "
+              << "nominal 980 mV (here "
+              << util::formatDouble(100.0 * eval.rmse / 980.0, 2)
+              << "%).\n";
+    return 0;
+}

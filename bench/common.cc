@@ -1,0 +1,65 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "util/strings.hh"
+
+namespace vmargin::bench
+{
+
+ChipReport
+characterizeChip(sim::ChipCorner corner, uint32_t serial,
+                 const std::vector<wl::WorkloadProfile> &workloads,
+                 const std::vector<CoreId> &cores,
+                 MegaHertz frequency, MilliVolt start, MilliVolt end,
+                 int campaigns, uint32_t max_epochs)
+{
+    ChipReport out;
+    out.platform = std::make_unique<sim::Platform>(
+        sim::XGene2Params{}, corner, serial);
+    CharacterizationFramework framework(out.platform.get());
+
+    FrameworkConfig config;
+    config.workloads = workloads;
+    config.cores = cores;
+    config.frequency = frequency;
+    config.startVoltage = start;
+    config.endVoltage = end;
+    config.campaigns = campaigns;
+    config.maxEpochs = max_epochs;
+    out.report = framework.characterize(config);
+    return out;
+}
+
+std::vector<ChipReport>
+characterizeThreeChips(
+    const std::vector<wl::WorkloadProfile> &workloads,
+    const std::vector<CoreId> &cores, int campaigns,
+    uint32_t max_epochs)
+{
+    std::vector<ChipReport> reports;
+    uint32_t serial = 1;
+    for (sim::ChipCorner corner : sim::kAllCorners) {
+        std::cerr << "characterizing " << sim::cornerName(corner)
+                  << " (" << workloads.size() << " benchmarks x "
+                  << cores.size() << " cores x " << campaigns
+                  << " campaigns)...\n";
+        reports.push_back(characterizeChip(
+            corner, serial++, workloads, cores, 2400, 930, 830,
+            campaigns, max_epochs));
+    }
+    return reports;
+}
+
+void
+printComparison(const std::string &what, double measured,
+                double paper, const std::string &unit)
+{
+    std::cout << util::padRight(what, 44) << " measured "
+              << util::padLeft(util::formatDouble(measured, 1), 7)
+              << ' ' << unit << "  |  paper "
+              << util::padLeft(util::formatDouble(paper, 1), 7)
+              << ' ' << unit << '\n';
+}
+
+} // namespace vmargin::bench

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 4 reproduction: per-core safe/unsafe/crash regions for all
+ * 10 benchmarks on all 8 cores of the three chips. Prints, per
+ * benchmark, each chip's per-core Vmin and highest crash voltage
+ * (the boundaries of Figure 4's blue/grey/black bands) plus the
+ * average Vmin (green line) and average crash voltage (red line).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Figure 4: regions of operation per core "
+                      "(Vmin / crash, mV)");
+
+    const auto workloads = wl::headlineSuite();
+    const std::vector<CoreId> cores = {0, 1, 2, 3, 4, 5, 6, 7};
+    const auto chips =
+        bench::characterizeThreeChips(workloads, cores);
+
+    for (const auto &w : workloads) {
+        util::printBanner(std::cout, w.id());
+        util::TablePrinter table({"chip", "c0", "c1", "c2", "c3",
+                                  "c4", "c5", "c6", "c7",
+                                  "avg Vmin", "avg crash"});
+        for (const auto &chip : chips) {
+            std::vector<std::string> row = {chip.report.chipName};
+            double crash_sum = 0;
+            int crash_n = 0;
+            for (CoreId c : cores) {
+                const auto &analysis =
+                    chip.report.cell(w.id(), c).analysis;
+                row.push_back(
+                    std::to_string(analysis.vmin) + "/" +
+                    std::to_string(analysis.highestCrashVoltage));
+                if (analysis.sawCrash()) {
+                    crash_sum += analysis.highestCrashVoltage;
+                    ++crash_n;
+                }
+            }
+            row.push_back(util::formatDouble(
+                chip.report.averageVmin(w.id()), 1));
+            row.push_back(
+                crash_n ? util::formatDouble(crash_sum / crash_n, 1)
+                        : "n/a");
+            table.addRow(row);
+        }
+        table.print(std::cout);
+    }
+
+    // Section 3.3 claims, quantified.
+    util::printBanner(std::cout, "process-variation summary");
+    for (const auto &chip : chips) {
+        double pmd_avg[4] = {0, 0, 0, 0};
+        for (const auto &w : workloads)
+            for (CoreId c : cores)
+                pmd_avg[c / 2] +=
+                    chip.report.cell(w.id(), c).analysis.vmin;
+        for (auto &v : pmd_avg)
+            v /= static_cast<double>(workloads.size() * 2);
+
+        int best = 0, worst = 0;
+        for (int p = 1; p < 4; ++p) {
+            if (pmd_avg[p] < pmd_avg[best])
+                best = p;
+            if (pmd_avg[p] > pmd_avg[worst])
+                worst = p;
+        }
+        std::cout << chip.report.chipName << ": PMD avg Vmin = {";
+        for (int p = 0; p < 4; ++p)
+            std::cout << (p ? ", " : "")
+                      << util::formatDouble(pmd_avg[p], 1);
+        std::cout << "} -> most robust PMD " << best
+                  << " (paper: PMD 2), most sensitive PMD " << worst
+                  << " (paper: PMD 0); spread "
+                  << util::formatDouble(
+                         100.0 * (pmd_avg[worst] - pmd_avg[best]) /
+                             980.0,
+                         2)
+                  << "% of nominal (paper: up to 3.6%)\n";
+    }
+
+    // Chip-to-chip: TFF lowest average Vmin, TSS highest.
+    double chip_avg[3] = {0, 0, 0};
+    for (size_t i = 0; i < 3; ++i) {
+        for (const auto &w : workloads)
+            chip_avg[i] += chips[i].report.averageVmin(w.id());
+        chip_avg[i] /= static_cast<double>(workloads.size());
+    }
+    std::cout << "\nchip average Vmin: TTT "
+              << util::formatDouble(chip_avg[0], 1) << ", TFF "
+              << util::formatDouble(chip_avg[1], 1) << ", TSS "
+              << util::formatDouble(chip_avg[2], 1)
+              << " mV (paper: TFF < TTT < TSS)\n";
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 8 reproduction (case 3, section 4.3.3): predict the
+ * severity of the most robust core (core 4 of the TTT chip).
+ * Paper: RMSE 2.65 severity units vs naive 6.9, R2 = 0.91.
+ */
+
+#include <iostream>
+
+#include "predict_common.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Figure 8: severity prediction, most robust "
+                      "core (core 4, TTT)");
+    const auto outcome = bench::runPredictionCase(
+        bench::PredictionTarget::Severity, 4);
+    bench::printPredictionReport(outcome, 2.65, 6.9, 0.91);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Headline energy numbers of the abstract and section 3.2:
+ *
+ *  - 19.4% average energy savings without performance loss
+ *    (robust-core Vmin at full speed),
+ *  - 38.8% savings at 25% performance reduction,
+ *  - guardband-equivalent savings >= 18.4% (TTT/TFF) and 15.7%
+ *    (TSS),
+ *  - Vmin = 760 mV everywhere at 1.2 GHz -> 69.9% power at 50%
+ *    performance.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/tradeoff.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Headline energy savings (abstract / "
+                      "section 3.2 / section 5)");
+
+    const auto workloads = wl::headlineSuite();
+    const std::vector<CoreId> cores = {0, 1, 2, 3, 4, 5, 6, 7};
+    const auto chips =
+        bench::characterizeThreeChips(workloads, cores);
+
+    // --- full-speed guardbands per chip -------------------------
+    const char *names[3] = {"TTT", "TFF", "TSS"};
+    for (size_t i = 0; i < 3; ++i) {
+        MilliVolt worst = 0;
+        for (const auto &w : workloads)
+            worst = std::max(worst,
+                             chips[i].report.bestCoreVmin(w.id()));
+        bench::printComparison(
+            std::string("robust-core worst-benchmark savings, ") +
+                names[i],
+            power::savingsPercent(
+                power::relativeDynamicPower(worst, 980, 1.0)),
+            i == 2 ? 15.7 : 18.4, "%");
+    }
+
+    // --- 19.4% with no performance loss -------------------------
+    // The abstract's average: per benchmark, run on its most robust
+    // core at that cell's Vmin; average the savings.
+    double sum = 0.0;
+    for (const auto &w : workloads)
+        sum += power::savingsPercent(power::relativeDynamicPower(
+            chips[0].report.bestCoreVmin(w.id()), 980, 1.0));
+    bench::printComparison(
+        "average robust-core savings (no perf loss)",
+        sum / static_cast<double>(workloads.size()), 19.4, "%");
+
+    // --- 38.8% at 25% performance loss (Figure 9 step 2) --------
+    std::vector<Placement> placements;
+    for (CoreId c = 0; c < 8; ++c)
+        placements.push_back(Placement{
+            workloads[static_cast<size_t>(c)].id(), c});
+    const TradeoffExplorer explorer(chips[0].report, 760);
+    const auto ladder = explorer.ladder(placements);
+    bench::printComparison("savings at 25% performance loss",
+                           ladder[2].savingsPercent(), 38.8, "%");
+
+    // --- 1.2 GHz: Vmin 760 mV everywhere ------------------------
+    util::printBanner(std::cout,
+                      "1.2 GHz characterization (section 3.2)");
+    std::cerr << "characterizing TTT at 1.2 GHz...\n";
+    const auto half = bench::characterizeChip(
+        sim::ChipCorner::TTT, 1, workloads, cores, 1200, 790, 740,
+        10, 15);
+    MilliVolt lo = 2000, hi = 0;
+    int unsafe_cells = 0;
+    for (const auto &cell : half.report.cells) {
+        lo = std::min(lo, cell.analysis.vmin);
+        hi = std::max(hi, cell.analysis.vmin);
+        unsafe_cells += cell.analysis.unsafeWidth() > 0;
+    }
+    std::cout << "Vmin range across all cores and benchmarks: ["
+              << lo << ", " << hi
+              << "] mV (paper: 760 mV everywhere)\n"
+              << "cells with a non-empty unsafe region: "
+              << unsafe_cells
+              << " (paper: none — only crashes below Vmin)\n";
+    bench::printComparison(
+        "power at 760 mV / 1.2 GHz (50% perf)",
+        power::savingsPercent(
+            power::relativeDynamicPower(760, 980, 0.5)),
+        69.9, "%");
+    return 0;
+}

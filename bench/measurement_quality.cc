@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measurement-methodology checks behind the paper's protocol:
+ *
+ *  (a) campaign-to-campaign Vmin dispersion — why section 3.2 runs
+ *      every campaign ten times and reports the *highest* Vmin;
+ *  (b) EDAC error-location breakdown — the section 2.2 parser
+ *      extension attributing corrected errors to cache levels.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/errorsites.hh"
+#include "core/repeatability.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "campaign repeatability (TTT, 10 campaigns)");
+
+    const auto workloads = wl::headlineSuite();
+    const auto chip = bench::characterizeChip(
+        sim::ChipCorner::TTT, 1, workloads, {0, 4}, 2400, 930, 830,
+        10, 20);
+
+    util::TablePrinter table({"cell", "per-campaign Vmin range",
+                              "mean", "merged (paper protocol)",
+                              "protocol margin (mV)"});
+    double worst_span = 0.0;
+    for (const auto &w : workloads) {
+        for (CoreId core : {0, 4}) {
+            const auto dispersion = campaignDispersion(
+                chip.report.allRuns, w.id(), core);
+            table.addRow(
+                {w.id() + "@c" + std::to_string(core),
+                 std::to_string(dispersion.minVmin()) + ".." +
+                     std::to_string(dispersion.maxVmin()),
+                 util::formatDouble(dispersion.meanVmin(), 1),
+                 std::to_string(dispersion.mergedVmin),
+                 util::formatDouble(dispersion.protocolMarginMv(),
+                                    1)});
+            worst_span = std::max(
+                worst_span,
+                static_cast<double>(dispersion.span()));
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nworst campaign-to-campaign spread: "
+              << util::formatDouble(worst_span, 0)
+              << " mV — a single campaign can under-estimate Vmin "
+                 "by that much,\nwhich is why the paper reports "
+                 "the highest of ten campaigns.\n";
+
+    util::printBanner(std::cout,
+                      "EDAC corrected-error locations (section 2.2 "
+                      "parser extension)");
+    const auto breakdown =
+        summarizeErrorSites(chip.report.allRuns);
+    util::TablePrinter sites({"site", "CE events", "share"});
+    for (const auto &site : breakdown.sitesByCount()) {
+        const auto it = breakdown.corrected.find(site);
+        const uint64_t count =
+            it == breakdown.corrected.end() ? 0 : it->second;
+        sites.addRow({site, std::to_string(count),
+                      util::formatDouble(
+                          100.0 * breakdown.correctedShare(site),
+                          1) +
+                          "%"});
+    }
+    sites.print(std::cout);
+    std::cout << "\nuncorrected events logged: "
+              << breakdown.totalUncorrected()
+              << "; the L2 dominates detection because every "
+                 "undervolted access path crosses it first.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate: raw
+ * cache access throughput, one core-epoch execution, one
+ * characterization run and one full campaign. These bound the cost
+ * of the figure harnesses and catch performance regressions in the
+ * hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hh"
+#include "sim/cache_hierarchy.hh"
+#include "sim/core.hh"
+#include "sim/platform.hh"
+#include "stats/rfe.hh"
+#include "util/rng.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace vmargin;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache("bench", 32, 8, 64, sim::Protection::Parity);
+    util::Rng rng(1);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64 + (rng.next() & 0xfc0)) & 0xfffff;
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyDataAccess(benchmark::State &state)
+{
+    sim::CacheHierarchy hierarchy{sim::XGene2Params{}};
+    util::Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hierarchy.dataAccess(
+            0, rng.next() & 0xffffff, false));
+    }
+}
+BENCHMARK(BM_HierarchyDataAccess);
+
+void
+BM_EpochGeneration(benchmark::State &state)
+{
+    const auto profile = wl::findWorkload("bwaves/ref");
+    wl::ActivityGenerator generator(profile, 7);
+    uint32_t epoch = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(generator.epoch(epoch++ % 50));
+}
+BENCHMARK(BM_EpochGeneration);
+
+void
+BM_SingleRun(benchmark::State &state)
+{
+    sim::XGene2Params params;
+    sim::CacheHierarchy caches(params);
+    sim::Core core(0, params, &caches);
+    const auto workload = wl::findWorkload("bwaves/ref");
+    sim::OnsetSet onsets;
+    onsets.sdc = 898;
+    onsets.ce = 893;
+    onsets.ue = 887;
+    onsets.ac = 884;
+    onsets.sc = 872;
+    sim::ExecutionConfig config;
+    config.voltage = static_cast<MilliVolt>(state.range(0));
+    config.maxEpochs = 20;
+    Seed seed = 0;
+    for (auto _ : state) {
+        config.seed = ++seed;
+        benchmark::DoNotOptimize(
+            core.run(workload, onsets, config));
+    }
+}
+// Safe region, unsafe region, crash region.
+BENCHMARK(BM_SingleRun)->Arg(980)->Arg(890)->Arg(860);
+
+void
+BM_Campaign(benchmark::State &state)
+{
+    sim::Platform platform(sim::XGene2Params{},
+                           sim::ChipCorner::TTT, 1);
+    CampaignRunner runner(&platform);
+    CampaignConfig config;
+    config.workload = wl::findWorkload("mcf/ref");
+    config.core = 0;
+    config.startVoltage = 930;
+    config.endVoltage = 860;
+    config.maxEpochs = 10;
+    uint32_t index = 0;
+    for (auto _ : state) {
+        config.campaignIndex = index++;
+        benchmark::DoNotOptimize(runner.run(config));
+    }
+}
+BENCHMARK(BM_Campaign)->Unit(benchmark::kMillisecond);
+
+void
+BM_RfeOn101Features(benchmark::State &state)
+{
+    util::Rng rng(3);
+    stats::Matrix x(100, 101);
+    stats::Vector y(100);
+    for (size_t i = 0; i < 100; ++i) {
+        for (size_t j = 0; j < 101; ++j)
+            x(i, j) = rng.uniform(-1, 1);
+        y[i] = 2.0 * x(i, 3) - x(i, 40) + rng.gaussian(0, 0.1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::recursiveFeatureElimination(x, y, 5, 8));
+    state.SetLabel("100 samples x 101 features -> 5");
+}
+BENCHMARK(BM_RfeOn101Features)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#include "predict_common.hh"
+
+#include <iostream>
+
+#include "common.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::bench
+{
+
+PredictionOutcome
+runPredictionCase(PredictionTarget target, CoreId core,
+                  int campaigns)
+{
+    // The paper's population: 26 benchmarks with all their input
+    // datasets -> 40 samples (section 4.3.1).
+    const auto workloads = wl::fullSuite();
+
+    std::cerr << "characterizing TTT core " << core << " over "
+              << workloads.size() << " samples ("
+              << campaigns << " campaigns)...\n";
+    auto chip = characterizeChip(sim::ChipCorner::TTT, 1, workloads,
+                                 {core}, 2400, 930, 830, campaigns,
+                                 20);
+
+    std::cerr << "profiling the " << sim::kNumPmuEvents
+              << " PMU counters at nominal conditions...\n";
+    Profiler profiler(chip.platform.get());
+    const auto profiles =
+        profiler.profileSuite(workloads, core, 20);
+
+    const Dataset dataset =
+        target == PredictionTarget::Vmin
+            ? buildVminDataset(profiles, chip.report, core)
+            : buildSeverityDataset(profiles, chip.report, core);
+
+    PredictionOutcome outcome;
+    outcome.core = core;
+    outcome.samples = dataset.y.size();
+    outcome.evaluation =
+        evaluatePredictor(dataset, EvaluationConfig{});
+    return outcome;
+}
+
+void
+printPredictionReport(const PredictionOutcome &outcome,
+                      double paper_rmse, double paper_naive,
+                      double paper_r2)
+{
+    const auto &eval = outcome.evaluation;
+    std::cout << "samples: " << outcome.samples << " (train "
+              << eval.trainSamples << " / test "
+              << eval.testSamples << ", 80/20 split)\n\n";
+
+    printComparison("RMSE (linear model)", eval.rmse, paper_rmse,
+                    "");
+    printComparison("RMSE (naive mean baseline)", eval.naiveRmse,
+                    paper_naive, "");
+    printComparison("R2 (linear model)", eval.r2, paper_r2, "");
+
+    std::cout << "\nRFE-selected features (the paper selects "
+              << "DISPATCH_STALL_CYCLES, EXC_TAKEN,\nMEM_ACCESS_RD, "
+              << "BTB_MIS_PRED, BR_COND_INDIRECT):\n";
+    for (const auto &name :
+         outcome.evaluation.selectedFeatureNames)
+        std::cout << "  " << name << '\n';
+
+    std::cout << "\ntest-set truth vs prediction:\n";
+    util::TablePrinter table({"sample", "truth", "predicted"});
+    for (size_t i = 0; i < eval.truth.size(); ++i)
+        table.addRow({std::to_string(i),
+                      util::formatDouble(eval.truth[i], 2),
+                      util::formatDouble(eval.predicted[i], 2)});
+    table.print(std::cout);
+}
+
+} // namespace vmargin::bench

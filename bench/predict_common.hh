@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared driver for the section 4 prediction experiments (Figures
+ * 7/8 and the 4.3.1 Vmin case): characterize the TTT chip over the
+ * full 40-sample population, profile the PMU counters at nominal,
+ * build the requested dataset and evaluate the RFE+OLS predictor
+ * against the naive baseline.
+ */
+
+#ifndef VMARGIN_BENCH_PREDICT_COMMON_HH
+#define VMARGIN_BENCH_PREDICT_COMMON_HH
+
+#include "core/predictor.hh"
+#include "sim/platform.hh"
+
+namespace vmargin::bench
+{
+
+/** Which regression target to evaluate. */
+enum class PredictionTarget
+{
+    Vmin,    ///< case 1: safe Vmin per workload
+    Severity ///< cases 2/3: severity per (workload, voltage)
+};
+
+/** Everything the prediction benches print. */
+struct PredictionOutcome
+{
+    EvaluationResult evaluation;
+    size_t samples = 0;
+    CoreId core = 0;
+};
+
+/**
+ * Run the full prediction pipeline on the TTT chip for @p core.
+ * @param campaigns campaign repetitions for the ground truth
+ */
+PredictionOutcome runPredictionCase(PredictionTarget target,
+                                    CoreId core, int campaigns = 10);
+
+/** Print the standard metric block with paper reference values. */
+void printPredictionReport(const PredictionOutcome &outcome,
+                           double paper_rmse, double paper_naive,
+                           double paper_r2);
+
+} // namespace vmargin::bench
+
+#endif // VMARGIN_BENCH_PREDICT_COMMON_HH

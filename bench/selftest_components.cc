@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Section 3.4 reproduction: the component-directed self-tests that
+ * explain the X-Gene 2's SDC-before-CE behaviour. Cache tests fill
+ * and bit-flip each array; ALU/FPU tests saturate the execute
+ * pipes. Expected shape: ALU/FPU tests produce SDCs at voltages
+ * where the cache tests still run fine, and the cache tests only
+ * crash far deeper (SRAM retention), proving timing paths fail
+ * first on this design.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "util/table.hh"
+#include "workloads/selftest.hh"
+
+using namespace vmargin;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Section 3.4: component self-tests on TTT "
+                      "core 0");
+
+    const auto chip = bench::characterizeChip(
+        sim::ChipCorner::TTT, 1, wl::selfTestSuite(), {0}, 2400,
+        950, 770, 10, 15);
+
+    util::TablePrinter table({"self-test", "first abnormal (mV)",
+                              "crash (mV)"});
+    for (const auto &w : wl::selfTestSuite()) {
+        const auto &analysis = chip.report.cell(w.id(), 0).analysis;
+        table.addRow(
+            {w.id(),
+             std::to_string(analysis.highestAbnormalVoltage),
+             std::to_string(analysis.highestCrashVoltage)});
+    }
+    table.print(std::cout);
+
+    const auto &alu =
+        chip.report.cell("selftest-alu", 0).analysis;
+    const auto &fpu =
+        chip.report.cell("selftest-fpu", 0).analysis;
+    MilliVolt deepest_cache_crash = 0;
+    MilliVolt highest_cache_abnormal = 0;
+    for (const char *name : {"selftest-l1i", "selftest-l1d",
+                             "selftest-l2", "selftest-l3"}) {
+        const auto &analysis = chip.report.cell(name, 0).analysis;
+        deepest_cache_crash = std::max(
+            deepest_cache_crash, analysis.highestCrashVoltage);
+        highest_cache_abnormal =
+            std::max(highest_cache_abnormal,
+                     analysis.highestAbnormalVoltage);
+    }
+
+    std::cout << "\nkey findings to verify:\n";
+    std::cout << "  (1) SDCs occur when the pipeline is stressed: "
+              << "ALU/FPU tests misbehave at "
+              << alu.highestAbnormalVoltage << "/"
+              << fpu.highestAbnormalVoltage
+              << " mV,\n      cache tests only at "
+              << highest_cache_abnormal << " mV\n";
+    std::cout << "  (2) cache bit-cells operate safely far below "
+              << "that: the cache tests crash at "
+              << deepest_cache_crash
+              << " mV,\n      "
+              << (alu.highestAbnormalVoltage - deepest_cache_crash)
+              << " mV below the first ALU-test SDC\n";
+    const bool shape_holds =
+        alu.highestAbnormalVoltage >
+            highest_cache_abnormal + 40 &&
+        deepest_cache_crash <
+            alu.highestAbnormalVoltage - 60;
+    std::cout << (shape_holds
+                      ? "\nshape HOLDS: timing paths fail before "
+                        "SRAM arrays (the paper's conclusion)\n"
+                      : "\nshape VIOLATED\n");
+    return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+#include "campaign.hh"
+
+#include "power/dvfs.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vmargin
+{
+
+CampaignRunner::CampaignRunner(sim::Platform *platform)
+    : platform_(platform), slimpro_(platform), watchdog_(platform)
+{
+    if (!platform_)
+        util::panicf("CampaignRunner: null platform");
+}
+
+Seed
+CampaignRunner::runSeed(const CampaignConfig &config,
+                        MilliVolt voltage, int run_index) const
+{
+    Seed seed = util::hashSeed(config.workload.id());
+    seed = util::mixSeed(
+        seed, static_cast<uint64_t>(platform_->chip().corner()) << 32 |
+                  platform_->chip().serial());
+    seed = util::mixSeed(seed, static_cast<uint64_t>(config.core));
+    seed = util::mixSeed(seed, static_cast<uint64_t>(voltage));
+    seed = util::mixSeed(seed,
+                         static_cast<uint64_t>(config.frequency));
+    seed = util::mixSeed(seed, config.campaignIndex);
+    seed = util::mixSeed(seed, static_cast<uint64_t>(run_index));
+    return seed;
+}
+
+CampaignResult
+CampaignRunner::run(const CampaignConfig &config)
+{
+    config.workload.validate();
+    const auto &params = platform_->chip().params();
+    if (config.core < 0 || config.core >= params.numCores)
+        util::fatalError("campaign: core out of range");
+    if (config.runsPerVoltage < 1)
+        util::fatalError("campaign: runsPerVoltage must be >= 1");
+    if (config.startVoltage < config.endVoltage)
+        util::fatalError("campaign: inverted voltage range");
+
+    CampaignResult result;
+    result.config = config;
+    const uint64_t interventions_before = watchdog_.interventions();
+
+    // ---- initialization phase -----------------------------------
+    watchdog_.ensureResponsive("campaign start");
+    // Fan setpoint first so the boot settles the package at the
+    // configured temperature (paper: 43 C for every experiment).
+    slimpro_.setFanTarget(config.fanTarget);
+    platform_->powerCycle(); // known-clean state
+
+    const PmdId target_pmd = params.pmdOfCore(config.core);
+    // Reliable cores setup: park every other PMD at the minimum
+    // frequency, keep the PMD under characterization at the target.
+    for (PmdId p = 0; p < params.numPmds; ++p)
+        slimpro_.setPmdFrequency(p, p == target_pmd
+                                        ? config.frequency
+                                        : params.minFrequency);
+
+    const auto sweep = power::voltageSweep(
+        config.startVoltage, config.endVoltage,
+        params.voltageStepSize);
+
+    int consecutive_crash_levels = 0;
+
+    // ---- execution phase ----------------------------------------
+    for (const MilliVolt voltage : sweep) {
+        bool all_crashed_here = config.runsPerVoltage > 0;
+        for (int r = 0; r < config.runsPerVoltage; ++r) {
+            // Recover from any crash left by the previous run; the
+            // frequency setup must be reapplied after a power cycle.
+            if (watchdog_.ensureResponsive("pre-run check")) {
+                for (PmdId p = 0; p < params.numPmds; ++p)
+                    slimpro_.setPmdFrequency(
+                        p, p == target_pmd ? config.frequency
+                                           : params.minFrequency);
+            }
+            if (!slimpro_.setPmdVoltage(voltage))
+                util::panicf("campaign: SLIMpro rejected setpoint ",
+                             voltage, " mV");
+
+            sim::ExecutionConfig exec;
+            exec.maxEpochs = config.maxEpochs;
+            exec.droopSensitivityMv = config.droopSensitivityMv;
+            const sim::RunResult run = platform_->runWorkload(
+                config.core, config.workload,
+                runSeed(config, voltage, r), exec);
+
+            // Safe data collection: restore nominal before storing
+            // the log (possible only when the machine survived; a
+            // hung machine gets power-cycled before the next run).
+            if (platform_->responsive())
+                slimpro_.setPmdVoltage(params.nominalPmdVoltage);
+
+            RunKey key;
+            key.workloadId = config.workload.id();
+            key.core = config.core;
+            key.voltage = voltage;
+            key.frequency = config.frequency;
+            key.campaign = config.campaignIndex;
+            key.runIndex = static_cast<uint32_t>(r);
+            const auto log_lines = formatRunLog(key, run);
+            result.rawLog.insert(result.rawLog.end(),
+                                 log_lines.begin(), log_lines.end());
+            all_crashed_here = all_crashed_here && run.systemCrashed;
+        }
+        result.lowestVoltageReached = voltage;
+
+        if (all_crashed_here) {
+            if (++consecutive_crash_levels >=
+                config.stopAfterCrashLevels)
+                break; // deep inside the non-operating region
+        } else {
+            consecutive_crash_levels = 0;
+        }
+    }
+
+    // Leave the machine clean for the next campaign.
+    watchdog_.ensureResponsive("campaign end");
+    slimpro_.setPmdVoltage(params.nominalPmdVoltage);
+    slimpro_.setAllFrequencies(params.maxFrequency);
+
+    // ---- parsing phase ------------------------------------------
+    result.runs = parseCampaignLog(result.rawLog);
+    result.watchdogInterventions =
+        watchdog_.interventions() - interventions_before;
+    return result;
+}
+
+} // namespace vmargin

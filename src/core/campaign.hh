@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Undervolting campaigns (paper section 2.2, execution phase).
+ *
+ * A campaign sweeps one (workload, core) pair across a descending
+ * voltage range at a fixed frequency, running the benchmark at each
+ * step and logging everything. The runner implements the paper's
+ * methodology:
+ *
+ *  - Reliable cores setup: the core under characterization keeps its
+ *    target frequency while every other PMD is parked at 300 MHz so
+ *    background activity cannot pollute the measurement.
+ *  - Safe data collection: after each run the PMD domain returns to
+ *    nominal voltage before logs are stored.
+ *  - Watchdog recovery: a hung machine is power-cycled by the
+ *    external watchdog and the campaign continues.
+ *  - Massive iterative execution: campaigns carry a repetition index
+ *    so the whole sweep can be repeated (10x in the paper) with
+ *    fresh non-determinism.
+ */
+
+#ifndef VMARGIN_CORE_CAMPAIGN_HH
+#define VMARGIN_CORE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "classifier.hh"
+#include "sim/platform.hh"
+#include "sim/slimpro.hh"
+#include "sim/watchdog.hh"
+#include "workloads/profile.hh"
+
+namespace vmargin
+{
+
+/** One campaign's characterization setup. */
+struct CampaignConfig
+{
+    wl::WorkloadProfile workload;
+    CoreId core = 0;
+    MegaHertz frequency = 2400;   ///< target core's PMD frequency
+    MilliVolt startVoltage = 980; ///< sweep begins here
+    MilliVolt endVoltage = 840;   ///< hard floor of the sweep
+    int runsPerVoltage = 1;       ///< runs at each step
+    uint32_t campaignIndex = 0;   ///< repetition index
+    uint32_t maxEpochs = 30;      ///< execution-length trim (speed)
+    Celsius fanTarget = 43.0;     ///< thermal stabilization point
+    double droopSensitivityMv = 0.0; ///< di/dt droop (ablations)
+
+    /** Stop the sweep after this many consecutive voltage levels in
+     *  which every run ended in a system crash — the machine is in
+     *  the non-operating region and deeper steps add nothing. */
+    int stopAfterCrashLevels = 2;
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    CampaignConfig config;
+    std::vector<ClassifiedRun> runs;
+    std::vector<std::string> rawLog; ///< the stored "log files"
+    uint64_t watchdogInterventions = 0;
+    MilliVolt lowestVoltageReached = 0;
+};
+
+/** Executes campaigns against a platform. */
+class CampaignRunner
+{
+  public:
+    /** @param platform machine under test (not owned) */
+    explicit CampaignRunner(sim::Platform *platform);
+
+    /**
+     * Run one campaign. The platform is left responsive at nominal
+     * settings afterwards.
+     */
+    CampaignResult run(const CampaignConfig &config);
+
+    /** Total watchdog interventions across all campaigns so far. */
+    uint64_t totalInterventions() const
+    {
+        return watchdog_.interventions();
+    }
+
+  private:
+    /** Deterministic per-run seed from the experiment coordinates. */
+    Seed runSeed(const CampaignConfig &config, MilliVolt voltage,
+                 int run_index) const;
+
+    sim::Platform *platform_;
+    sim::SlimPro slimpro_;
+    sim::Watchdog watchdog_;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_CAMPAIGN_HH

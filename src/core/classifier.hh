@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution-phase log emission and parsing-phase classification
+ * (paper Figure 2, right half).
+ *
+ * The real framework stores per-run log files while the machine is
+ * back at nominal voltage, then a parser turns them into classified
+ * CSV rows. We keep that structure: the campaign emits a small
+ * text log per run (formatRunLog) and the parsing phase consumes
+ * only that text (parseRunLog) — the classifier never peeks at the
+ * simulator's internal state, so the pipeline is as honest as the
+ * original.
+ */
+
+#ifndef VMARGIN_CORE_CLASSIFIER_HH
+#define VMARGIN_CORE_CLASSIFIER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "effects.hh"
+#include "sim/core.hh"
+#include "util/types.hh"
+
+namespace vmargin
+{
+
+/** Identity of one characterization run. */
+struct RunKey
+{
+    std::string workloadId; ///< "name/dataset"
+    CoreId core = 0;
+    MilliVolt voltage = 980;
+    MegaHertz frequency = 2400;
+    uint32_t campaign = 0; ///< campaign repetition index
+    uint32_t runIndex = 0; ///< run within (campaign, voltage)
+};
+
+/** One run after the parsing phase. */
+struct ClassifiedRun
+{
+    RunKey key;
+    EffectSet effects;
+    uint64_t sdcEvents = 0;
+    uint64_t correctedErrors = 0;
+    uint64_t uncorrectedErrors = 0;
+    int exitCode = 0;
+    double seconds = 0.0;
+    double avgIpc = 0.0;
+    double activityFactor = 0.0;
+
+    /** Corrected-error counts by detection site ("L2Cache", ...) —
+     *  the location detail of section 2.2's extended parser. */
+    std::map<std::string, uint64_t> correctedBySite;
+
+    /** Uncorrected-error counts by detection site. */
+    std::map<std::string, uint64_t> uncorrectedBySite;
+};
+
+/** Render the log lines the execution phase stores for one run. */
+std::vector<std::string> formatRunLog(const RunKey &key,
+                                      const sim::RunResult &run);
+
+/**
+ * Parse one run's log lines back into a classified record. Panics
+ * on malformed logs (they are produced by formatRunLog; corruption
+ * means a framework bug).
+ */
+ClassifiedRun parseRunLog(const std::vector<std::string> &lines);
+
+/**
+ * Split a whole campaign log (concatenated run logs) into runs and
+ * classify each. Run boundaries are the "RUN " header lines.
+ */
+std::vector<ClassifiedRun>
+parseCampaignLog(const std::vector<std::string> &lines);
+
+/** Encode a site-count map as "L2Cache:9;L3Cache:2" (empty -> ""). */
+std::string encodeSiteCounts(const std::map<std::string, uint64_t> &sites);
+
+/** Parse the encodeSiteCounts format; panics on malformed input. */
+std::map<std::string, uint64_t> decodeSiteCounts(const std::string &text);
+
+/** CSV header for classified-run rows (the framework's final CSV). */
+std::vector<std::string> classifiedRunCsvHeader();
+
+/** CSV row for one classified run. */
+std::vector<std::string> classifiedRunCsvRow(const ClassifiedRun &run);
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_CLASSIFIER_HH

@@ -1,0 +1,74 @@
+#include "errorsites.hh"
+
+#include <algorithm>
+
+namespace vmargin
+{
+
+uint64_t
+ErrorSiteBreakdown::totalCorrected() const
+{
+    uint64_t total = 0;
+    for (const auto &[site, count] : corrected)
+        total += count;
+    return total;
+}
+
+uint64_t
+ErrorSiteBreakdown::totalUncorrected() const
+{
+    uint64_t total = 0;
+    for (const auto &[site, count] : uncorrected)
+        total += count;
+    return total;
+}
+
+double
+ErrorSiteBreakdown::correctedShare(const std::string &site) const
+{
+    const uint64_t total = totalCorrected();
+    if (!total)
+        return 0.0;
+    auto it = corrected.find(site);
+    return it == corrected.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(total);
+}
+
+std::vector<std::string>
+ErrorSiteBreakdown::sitesByCount() const
+{
+    std::vector<std::string> sites;
+    for (const auto &[site, count] : corrected)
+        sites.push_back(site);
+    for (const auto &[site, count] : uncorrected)
+        if (!corrected.count(site))
+            sites.push_back(site);
+    std::stable_sort(
+        sites.begin(), sites.end(),
+        [this](const std::string &a, const std::string &b) {
+            const auto count = [this](const std::string &s) {
+                auto it = corrected.find(s);
+                return it == corrected.end() ? uint64_t{0}
+                                             : it->second;
+            };
+            return count(a) > count(b);
+        });
+    return sites;
+}
+
+ErrorSiteBreakdown
+summarizeErrorSites(const std::vector<ClassifiedRun> &runs)
+{
+    ErrorSiteBreakdown breakdown;
+    for (const auto &run : runs) {
+        for (const auto &[site, count] : run.correctedBySite)
+            breakdown.corrected[site] += count;
+        for (const auto &[site, count] : run.uncorrectedBySite)
+            breakdown.uncorrected[site] += count;
+    }
+    return breakdown;
+}
+
+} // namespace vmargin

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error-location aggregation (the section 2.2 parser extension:
+ * "the parser can also report the exact location that the
+ * correctable errors occurred, e.g. the cache level, the memory").
+ */
+
+#ifndef VMARGIN_CORE_ERRORSITES_HH
+#define VMARGIN_CORE_ERRORSITES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classifier.hh"
+
+namespace vmargin
+{
+
+/** Aggregated CE/UE location distribution. */
+struct ErrorSiteBreakdown
+{
+    std::map<std::string, uint64_t> corrected;
+    std::map<std::string, uint64_t> uncorrected;
+
+    /** Total corrected events across all sites. */
+    uint64_t totalCorrected() const;
+
+    /** Total uncorrected events across all sites. */
+    uint64_t totalUncorrected() const;
+
+    /** Fraction of corrected events at @p site (0 when none). */
+    double correctedShare(const std::string &site) const;
+
+    /** Site names seen, sorted by corrected count descending. */
+    std::vector<std::string> sitesByCount() const;
+};
+
+/** Aggregate the per-run location detail of classified runs. */
+ErrorSiteBreakdown
+summarizeErrorSites(const std::vector<ClassifiedRun> &runs);
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_ERRORSITES_HH

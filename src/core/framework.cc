@@ -1,0 +1,239 @@
+#include "framework.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+
+FrameworkConfig
+FrameworkConfig::fromConfig(const util::ConfigFile &file)
+{
+    FrameworkConfig config;
+
+    if (file.has("workloads")) {
+        for (const auto &id : file.getList("workloads"))
+            config.workloads.push_back(wl::findWorkload(id));
+    } else {
+        config.workloads = wl::headlineSuite();
+    }
+
+    config.cores.clear();
+    if (file.has("cores")) {
+        for (const auto &token : file.getList("cores")) {
+            if (!util::isInteger(token))
+                util::fatalError("config key 'cores': '" + token +
+                                 "' is not a core id");
+            config.cores.push_back(static_cast<CoreId>(
+                std::strtol(token.c_str(), nullptr, 10)));
+        }
+    } else {
+        for (CoreId c = 0; c < 8; ++c)
+            config.cores.push_back(c);
+    }
+
+    config.frequency = static_cast<MegaHertz>(
+        file.getInt("frequency_mhz", config.frequency));
+    config.startVoltage = static_cast<MilliVolt>(
+        file.getInt("start_mv", config.startVoltage));
+    config.endVoltage = static_cast<MilliVolt>(
+        file.getInt("end_mv", config.endVoltage));
+    config.campaigns =
+        static_cast<int>(file.getInt("campaigns", config.campaigns));
+    config.runsPerVoltage = static_cast<int>(
+        file.getInt("runs_per_voltage", config.runsPerVoltage));
+    config.maxEpochs = static_cast<uint32_t>(
+        file.getInt("max_epochs", config.maxEpochs));
+    config.validate();
+    return config;
+}
+
+void
+FrameworkConfig::validate() const
+{
+    if (workloads.empty())
+        util::fatalError("framework: empty workload list");
+    if (cores.empty())
+        util::fatalError("framework: empty core list");
+    if (campaigns < 1)
+        util::fatalError("framework: campaigns must be >= 1");
+    if (runsPerVoltage < 1)
+        util::fatalError("framework: runsPerVoltage must be >= 1");
+    if (startVoltage < endVoltage)
+        util::fatalError("framework: inverted voltage range");
+    weights.validate();
+    for (const auto &workload : workloads)
+        workload.validate();
+}
+
+const CellResult &
+CharacterizationReport::cell(const std::string &workload_id,
+                             CoreId core) const
+{
+    for (const auto &c : cells)
+        if (c.workloadId == workload_id && c.core == core)
+            return c;
+    util::panicf("CharacterizationReport: no cell for ", workload_id,
+                 " core ", core);
+}
+
+MilliVolt
+CharacterizationReport::bestCoreVmin(
+    const std::string &workload_id) const
+{
+    MilliVolt best = 0;
+    bool found = false;
+    for (const auto &c : cells) {
+        if (c.workloadId != workload_id)
+            continue;
+        if (!found || c.analysis.vmin < best)
+            best = c.analysis.vmin;
+        found = true;
+    }
+    if (!found)
+        util::panicf("CharacterizationReport: workload ", workload_id,
+                     " not characterized");
+    return best;
+}
+
+double
+CharacterizationReport::averageVmin(
+    const std::string &workload_id) const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const auto &c : cells) {
+        if (c.workloadId != workload_id)
+            continue;
+        sum += static_cast<double>(c.analysis.vmin);
+        ++count;
+    }
+    if (!count)
+        util::panicf("CharacterizationReport: workload ", workload_id,
+                     " not characterized");
+    return sum / count;
+}
+
+std::string
+CharacterizationReport::toCsv() const
+{
+    std::ostringstream os;
+    util::CsvWriter writer(os);
+    writer.writeHeader(classifiedRunCsvHeader());
+    for (const auto &run : allRuns)
+        writer.writeRow(classifiedRunCsvRow(run));
+    return os.str();
+}
+
+std::string
+CharacterizationReport::summaryCsv() const
+{
+    std::ostringstream os;
+    util::CsvWriter writer(os);
+    writer.writeHeader({"chip", "workload", "core", "vmin_mv",
+                        "highest_crash_mv", "unsafe_width_mv",
+                        "guardband_mv"});
+    for (const auto &c : cells) {
+        writer.writeRow(
+            {chipName, c.workloadId, std::to_string(c.core),
+             std::to_string(c.analysis.vmin),
+             std::to_string(c.analysis.highestCrashVoltage),
+             std::to_string(c.analysis.unsafeWidth()),
+             std::to_string(c.analysis.guardband(980))});
+    }
+    return os.str();
+}
+
+CharacterizationFramework::CharacterizationFramework(
+    sim::Platform *platform)
+    : platform_(platform), runner_(platform)
+{
+    if (!platform_)
+        util::panicf("CharacterizationFramework: null platform");
+}
+
+CellResult
+CharacterizationFramework::characterizeCell(
+    const wl::WorkloadProfile &workload, CoreId core,
+    const FrameworkConfig &config)
+{
+    std::vector<ClassifiedRun> cell_runs;
+    for (int rep = 0; rep < config.campaigns; ++rep) {
+        CampaignConfig campaign;
+        campaign.workload = workload;
+        campaign.core = core;
+        campaign.frequency = config.frequency;
+        campaign.startVoltage = config.startVoltage;
+        campaign.endVoltage = config.endVoltage;
+        campaign.runsPerVoltage = config.runsPerVoltage;
+        campaign.campaignIndex = static_cast<uint32_t>(rep);
+        campaign.maxEpochs = config.maxEpochs;
+        campaign.fanTarget = config.fanTarget;
+        const CampaignResult result = runner_.run(campaign);
+        cell_runs.insert(cell_runs.end(), result.runs.begin(),
+                         result.runs.end());
+    }
+
+    CellResult cell;
+    cell.workloadId = workload.id();
+    cell.core = core;
+    cell.analysis = analyzeRegions(cell_runs, workload.id(), core,
+                                   config.weights);
+    // Stash the runs in the analysis' map only; callers wanting raw
+    // rows use CharacterizationReport::allRuns.
+    return cell;
+}
+
+CharacterizationReport
+CharacterizationFramework::characterize(const FrameworkConfig &config)
+{
+    config.validate();
+
+    CharacterizationReport report;
+    report.chipName = platform_->chip().name();
+    report.corner = platform_->chip().corner();
+    report.frequency = config.frequency;
+    const uint64_t interventions_before =
+        runner_.totalInterventions();
+
+    for (const auto &workload : config.workloads) {
+        for (const CoreId core : config.cores) {
+            std::vector<ClassifiedRun> cell_runs;
+            for (int rep = 0; rep < config.campaigns; ++rep) {
+                CampaignConfig campaign;
+                campaign.workload = workload;
+                campaign.core = core;
+                campaign.frequency = config.frequency;
+                campaign.startVoltage = config.startVoltage;
+                campaign.endVoltage = config.endVoltage;
+                campaign.runsPerVoltage = config.runsPerVoltage;
+                campaign.campaignIndex = static_cast<uint32_t>(rep);
+                campaign.maxEpochs = config.maxEpochs;
+                campaign.fanTarget = config.fanTarget;
+                const CampaignResult result = runner_.run(campaign);
+                cell_runs.insert(cell_runs.end(), result.runs.begin(),
+                                 result.runs.end());
+            }
+            CellResult cell;
+            cell.workloadId = workload.id();
+            cell.core = core;
+            cell.analysis = analyzeRegions(
+                cell_runs, workload.id(), core, config.weights);
+            report.cells.push_back(std::move(cell));
+            report.totalRuns += cell_runs.size();
+            report.allRuns.insert(report.allRuns.end(),
+                                  cell_runs.begin(), cell_runs.end());
+        }
+    }
+
+    report.watchdogInterventions =
+        runner_.totalInterventions() - interventions_before;
+    return report;
+}
+
+} // namespace vmargin

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The automated characterization framework (paper Figure 2, first
+ * contribution): initialization, execution and parsing phases over a
+ * benchmark list, a voltage sweep, a core list and campaign
+ * repetitions, producing per-cell region analyses and the final CSV.
+ */
+
+#ifndef VMARGIN_CORE_FRAMEWORK_HH
+#define VMARGIN_CORE_FRAMEWORK_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign.hh"
+#include "regions.hh"
+#include "util/config.hh"
+
+namespace vmargin
+{
+
+/** Full characterization configuration (initialization phase). */
+struct FrameworkConfig
+{
+    std::vector<wl::WorkloadProfile> workloads;
+    std::vector<CoreId> cores;
+    MegaHertz frequency = 2400;
+    MilliVolt startVoltage = 930; ///< effects never appear above
+    MilliVolt endVoltage = 845;
+    int runsPerVoltage = 1;  ///< runs per voltage inside a campaign
+    int campaigns = 10;      ///< campaign repetitions (paper: 10)
+    uint32_t maxEpochs = 30; ///< execution-length trim
+    Celsius fanTarget = 43.0; ///< thermal stabilization point
+    SeverityWeights weights;
+
+    /** Basic validation; fatal on an unusable configuration. */
+    void validate() const;
+
+    /**
+     * Build from a key=value configuration (the initialization
+     * phase's user-editable setup, Figure 2). Recognized keys:
+     * workloads (list of benchmark ids, default: headline suite),
+     * cores (list, default 0-7), frequency_mhz, start_mv, end_mv,
+     * campaigns, runs_per_voltage, max_epochs. Fatal on unusable
+     * values.
+     */
+    static FrameworkConfig fromConfig(const util::ConfigFile &file);
+};
+
+/** Result cell for one (workload, core) pair. */
+struct CellResult
+{
+    std::string workloadId;
+    CoreId core = 0;
+    RegionAnalysis analysis;
+};
+
+/** Everything the framework produced for one chip. */
+struct CharacterizationReport
+{
+    std::string chipName;
+    sim::ChipCorner corner = sim::ChipCorner::TTT;
+    MegaHertz frequency = 2400;
+    std::vector<CellResult> cells;
+    std::vector<ClassifiedRun> allRuns;
+    uint64_t watchdogInterventions = 0;
+    uint64_t totalRuns = 0;
+
+    /** Cell lookup; panics when the cell was not characterized. */
+    const CellResult &cell(const std::string &workload_id,
+                           CoreId core) const;
+
+    /** Vmin of the most robust core for @p workload_id (Figure 3's
+     *  per-benchmark series). */
+    MilliVolt bestCoreVmin(const std::string &workload_id) const;
+
+    /** Average Vmin across all characterized cores of a workload. */
+    double averageVmin(const std::string &workload_id) const;
+
+    /** Final CSV of every classified run (parsing-phase output). */
+    std::string toCsv() const;
+
+    /** Summary CSV: one row per cell with Vmin/crash/regions. */
+    std::string summaryCsv() const;
+};
+
+/** The orchestrator. */
+class CharacterizationFramework
+{
+  public:
+    /** @param platform machine under test (not owned) */
+    explicit CharacterizationFramework(sim::Platform *platform);
+
+    /** Run the full characterization (all three phases). */
+    CharacterizationReport characterize(const FrameworkConfig &config);
+
+    /** Characterize a single (workload, core) cell. */
+    CellResult characterizeCell(const wl::WorkloadProfile &workload,
+                                CoreId core,
+                                const FrameworkConfig &config);
+
+  private:
+    sim::Platform *platform_;
+    CampaignRunner runner_;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_FRAMEWORK_HH

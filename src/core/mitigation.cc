@@ -1,0 +1,67 @@
+#include "mitigation.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin
+{
+
+std::string
+mitigationActionName(MitigationAction action)
+{
+    switch (action) {
+      case MitigationAction::None:
+        return "none";
+      case MitigationAction::EccMonitoring:
+        return "ecc-monitoring";
+      case MitigationAction::SdcProtection:
+        return "sdc-protection";
+      case MitigationAction::Unusable:
+        return "unusable";
+    }
+    util::panicf("mitigationActionName: invalid action ",
+                 static_cast<int>(action));
+}
+
+MitigationAdvice
+adviseMitigation(double severity_value,
+                 const SeverityWeights &weights)
+{
+    weights.validate();
+    MitigationAdvice advice;
+    if (severity_value < 0.0)
+        util::panicf("adviseMitigation: negative severity ",
+                     severity_value);
+
+    if (severity_value == 0.0) {
+        advice.action = MitigationAction::None;
+        advice.rationale =
+            "Predicted safe (above Vmin); most conservative range, "
+            "minimum energy savings, no mitigation needed.";
+        return advice;
+    }
+    if (severity_value <= weights.ce) {
+        advice.action = MitigationAction::EccMonitoring;
+        advice.rationale =
+            "Corrected errors appear first (Itanium-style range); "
+            "ECC serves as a proxy for undervolting effects while "
+            "execution stays correct. Going further down is risky.";
+        return advice;
+    }
+    if (severity_value < weights.ac) {
+        advice.action = MitigationAction::SdcProtection;
+        advice.rationale =
+            "SDCs (alone or with CE/UE) dominate this range on the "
+            "X-Gene 2; exact programs need checkpoint/rollback or "
+            "re-execution at a safe operating point.";
+        advice.tolerableBySdcTolerantApps =
+            severity_value <= weights.sdc;
+        return advice;
+    }
+    advice.action = MitigationAction::Unusable;
+    advice.rationale =
+        "Application/system crashes are systematic here; without "
+        "hardware redesign this range is unusable.";
+    return advice;
+}
+
+} // namespace vmargin

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Undervolting-effects mitigation policy (paper section 4.4).
+ *
+ * Given the observed or predicted severity of a voltage range, the
+ * policy names the cheapest mechanism that preserves correctness:
+ * nothing in the safe range, ECC-as-proxy monitoring where corrected
+ * errors come first, checkpoint/re-execution (or tolerance, for
+ * error-resilient applications) in SDC ranges, and "unusable" where
+ * crashes dominate.
+ */
+
+#ifndef VMARGIN_CORE_MITIGATION_HH
+#define VMARGIN_CORE_MITIGATION_HH
+
+#include <string>
+
+#include "severity.hh"
+
+namespace vmargin
+{
+
+/** Mitigation mechanisms of section 4.4, cheapest first. */
+enum class MitigationAction
+{
+    None,            ///< severity 0: safe range, run as-is
+    EccMonitoring,   ///< CE-only range: ECC corrects, watch the rate
+    SdcProtection,   ///< SDC range: checkpoint/re-execute, or
+                     ///< tolerate for error-resilient applications
+    Unusable         ///< crash range: no software mitigation helps
+};
+
+/** Printable action name. */
+std::string mitigationActionName(MitigationAction action);
+
+/** Advice for one voltage range. */
+struct MitigationAdvice
+{
+    MitigationAction action = MitigationAction::None;
+    std::string rationale;
+
+    /** True when an SDC-tolerant application (approximate
+     *  computing, video processing, jammer detection...) could run
+     *  here for extra savings even though exact codes cannot. */
+    bool tolerableBySdcTolerantApps = false;
+};
+
+/**
+ * Map a severity value (observed or predicted) to advice, following
+ * the section 4.4 bands: 0 -> nothing; (0, 1] -> corrected errors
+ * first; (1, 8) -> SDC territory; >= 8 -> crashes.
+ */
+MitigationAdvice adviseMitigation(double severity_value,
+                                  const SeverityWeights &weights = {});
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_MITIGATION_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Profiling phase (paper Figure 6, phase 2): run every workload at
+ * nominal voltage/frequency and collect all 101 PMU counters. The
+ * resulting per-workload counter vectors are the features of the
+ * prediction pipeline.
+ */
+
+#ifndef VMARGIN_CORE_PROFILER_HH
+#define VMARGIN_CORE_PROFILER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/platform.hh"
+#include "stats/matrix.hh"
+#include "workloads/profile.hh"
+
+namespace vmargin
+{
+
+/** Counter profile of one workload at nominal conditions. */
+struct WorkloadCounters
+{
+    std::string workloadId;
+    sim::PmuSnapshot counters{};
+    uint64_t instructions = 0;
+
+    /** Counter value normalized per kilo-instruction — makes
+     *  workloads of different lengths comparable, like dividing by
+     *  runtime does on real hardware. */
+    double perKilo(sim::PmuEvent event) const;
+};
+
+/** Collects nominal-condition profiles. */
+class Profiler
+{
+  public:
+    /** @param platform machine to profile on (not owned) */
+    explicit Profiler(sim::Platform *platform);
+
+    /**
+     * Profile one workload on @p core at nominal V/F.
+     * @param max_epochs execution-length trim (0 = full length)
+     */
+    WorkloadCounters profile(const wl::WorkloadProfile &workload,
+                             CoreId core, uint32_t max_epochs = 0);
+
+    /** Profile a whole suite. */
+    std::vector<WorkloadCounters>
+    profileSuite(const std::vector<wl::WorkloadProfile> &suite,
+                 CoreId core, uint32_t max_epochs = 0);
+
+  private:
+    sim::Platform *platform_;
+};
+
+/**
+ * Assemble the feature matrix: one row per profiled workload, one
+ * column per PMU event, values per kilo-instruction.
+ */
+stats::Matrix
+counterFeatureMatrix(const std::vector<WorkloadCounters> &profiles);
+
+/** Feature (column) names matching counterFeatureMatrix. */
+std::vector<std::string> counterFeatureNames();
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_PROFILER_HH

@@ -1,0 +1,69 @@
+#include "repeatability.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace vmargin
+{
+
+MilliVolt
+CampaignDispersion::minVmin() const
+{
+    if (perCampaignVmin.empty())
+        return 0;
+    return *std::min_element(perCampaignVmin.begin(),
+                             perCampaignVmin.end());
+}
+
+MilliVolt
+CampaignDispersion::maxVmin() const
+{
+    if (perCampaignVmin.empty())
+        return 0;
+    return *std::max_element(perCampaignVmin.begin(),
+                             perCampaignVmin.end());
+}
+
+double
+CampaignDispersion::meanVmin() const
+{
+    if (perCampaignVmin.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (MilliVolt v : perCampaignVmin)
+        sum += static_cast<double>(v);
+    return sum / static_cast<double>(perCampaignVmin.size());
+}
+
+CampaignDispersion
+campaignDispersion(const std::vector<ClassifiedRun> &runs,
+                   const std::string &workload_id, CoreId core,
+                   const SeverityWeights &weights)
+{
+    std::map<uint32_t, std::vector<ClassifiedRun>> by_campaign;
+    for (const auto &run : runs) {
+        if (run.key.workloadId != workload_id ||
+            run.key.core != core)
+            continue;
+        by_campaign[run.key.campaign].push_back(run);
+    }
+    if (by_campaign.empty())
+        util::panicf("campaignDispersion: no runs for ",
+                     workload_id, " on core ", core);
+
+    CampaignDispersion dispersion;
+    for (const auto &[campaign, campaign_runs] : by_campaign) {
+        const RegionAnalysis analysis = analyzeRegions(
+            campaign_runs, workload_id, core, weights);
+        dispersion.perCampaignVmin.push_back(analysis.vmin);
+        dispersion.perCampaignCrash.push_back(
+            analysis.highestCrashVoltage);
+    }
+    dispersion.mergedVmin =
+        analyzeRegions(runs, workload_id, core, weights).vmin;
+    return dispersion;
+}
+
+} // namespace vmargin

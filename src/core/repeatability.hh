@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Campaign-to-campaign repeatability analysis.
+ *
+ * The paper repeats every undervolting campaign ten times and
+ * reports the *highest* Vmin and crash voltage observed, because
+ * run-to-run non-determinism makes a single campaign's estimate
+ * optimistic. This module quantifies that dispersion: per-campaign
+ * region analyses of one cell, their Vmin spread and how much the
+ * max-of-N protocol adds over a single campaign.
+ */
+
+#ifndef VMARGIN_CORE_REPEATABILITY_HH
+#define VMARGIN_CORE_REPEATABILITY_HH
+
+#include <vector>
+
+#include "regions.hh"
+
+namespace vmargin
+{
+
+/** Per-campaign dispersion of one (workload, core) cell. */
+struct CampaignDispersion
+{
+    /** Vmin measured by each campaign alone, indexed by campaign. */
+    std::vector<MilliVolt> perCampaignVmin;
+
+    /** Highest crash voltage per campaign (0 = none seen). */
+    std::vector<MilliVolt> perCampaignCrash;
+
+    /** Vmin from merging every campaign (the paper's protocol). */
+    MilliVolt mergedVmin = 0;
+
+    MilliVolt minVmin() const;
+    MilliVolt maxVmin() const;
+    double meanVmin() const;
+
+    /** Spread between the luckiest and unluckiest campaign. */
+    MilliVolt span() const { return maxVmin() - minVmin(); }
+
+    /** Extra margin the max-of-N protocol adds over the average
+     *  single campaign (>= 0). */
+    double protocolMarginMv() const
+    {
+        return static_cast<double>(mergedVmin) - meanVmin();
+    }
+};
+
+/**
+ * Compute the dispersion of one cell from runs that carry campaign
+ * indices. Panics when the cell has no runs.
+ */
+CampaignDispersion
+campaignDispersion(const std::vector<ClassifiedRun> &runs,
+                   const std::string &workload_id, CoreId core,
+                   const SeverityWeights &weights = {});
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_REPEATABILITY_HH

@@ -1,0 +1,173 @@
+#include "resultstore.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace vmargin
+{
+
+using util::panicf;
+
+namespace
+{
+
+constexpr const char *kMagic = "# vmargin-report";
+
+} // namespace
+
+std::string
+serializeReport(const CharacterizationReport &report)
+{
+    std::ostringstream os;
+    os << kMagic << " chip=" << report.chipName
+       << " corner=" << sim::cornerName(report.corner)
+       << " freq=" << report.frequency
+       << " watchdog=" << report.watchdogInterventions << '\n';
+    os << report.toCsv();
+    return os.str();
+}
+
+CharacterizationReport
+deserializeReport(const std::string &text,
+                  const SeverityWeights &weights)
+{
+    const auto newline = text.find('\n');
+    if (newline == std::string::npos ||
+        !util::startsWith(text, kMagic))
+        panicf("deserializeReport: missing metadata header");
+
+    CharacterizationReport report;
+    // Parse the metadata header.
+    for (const auto &token :
+         util::split(text.substr(0, newline), ' ')) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "chip") {
+            report.chipName = value;
+        } else if (key == "corner") {
+            report.corner = sim::cornerFromName(value);
+        } else if (key == "freq") {
+            report.frequency = static_cast<MegaHertz>(
+                std::strtol(value.c_str(), nullptr, 10));
+        } else if (key == "watchdog") {
+            report.watchdogInterventions = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        }
+    }
+
+    // Parse the run rows.
+    const util::CsvDocument doc =
+        util::parseCsv(text.substr(newline + 1));
+    const auto column = [&](const char *name) {
+        const int index = doc.columnIndex(name);
+        if (index < 0)
+            panicf("deserializeReport: missing column '", name,
+                   "'");
+        return static_cast<size_t>(index);
+    };
+    const size_t col_workload = column("workload");
+    const size_t col_core = column("core");
+    const size_t col_voltage = column("voltage_mv");
+    const size_t col_freq = column("freq_mhz");
+    const size_t col_campaign = column("campaign");
+    const size_t col_run = column("run");
+    const size_t col_effects = column("effects");
+    const size_t col_sdc = column("sdc_events");
+    const size_t col_ce = column("ce");
+    const size_t col_ue = column("ue");
+    const size_t col_exit = column("exit_code");
+    const size_t col_seconds = column("seconds");
+    const size_t col_ipc = column("ipc");
+    const size_t col_activity = column("activity");
+    const size_t col_ce_sites = column("ce_sites");
+    const size_t col_ue_sites = column("ue_sites");
+
+    for (const auto &row : doc.rows) {
+        ClassifiedRun run;
+        run.key.workloadId = row.at(col_workload);
+        run.key.core = static_cast<CoreId>(
+            std::strtol(row.at(col_core).c_str(), nullptr, 10));
+        run.key.voltage = static_cast<MilliVolt>(
+            std::strtol(row.at(col_voltage).c_str(), nullptr, 10));
+        run.key.frequency = static_cast<MegaHertz>(
+            std::strtol(row.at(col_freq).c_str(), nullptr, 10));
+        run.key.campaign = static_cast<uint32_t>(std::strtol(
+            row.at(col_campaign).c_str(), nullptr, 10));
+        run.key.runIndex = static_cast<uint32_t>(
+            std::strtol(row.at(col_run).c_str(), nullptr, 10));
+        run.effects = EffectSet::fromString(row.at(col_effects));
+        run.sdcEvents = static_cast<uint64_t>(
+            std::strtoll(row.at(col_sdc).c_str(), nullptr, 10));
+        run.correctedErrors = static_cast<uint64_t>(
+            std::strtoll(row.at(col_ce).c_str(), nullptr, 10));
+        run.uncorrectedErrors = static_cast<uint64_t>(
+            std::strtoll(row.at(col_ue).c_str(), nullptr, 10));
+        run.exitCode = static_cast<int>(
+            std::strtol(row.at(col_exit).c_str(), nullptr, 10));
+        run.seconds =
+            std::strtod(row.at(col_seconds).c_str(), nullptr);
+        run.avgIpc = std::strtod(row.at(col_ipc).c_str(), nullptr);
+        run.activityFactor =
+            std::strtod(row.at(col_activity).c_str(), nullptr);
+        run.correctedBySite =
+            decodeSiteCounts(row.at(col_ce_sites));
+        run.uncorrectedBySite =
+            decodeSiteCounts(row.at(col_ue_sites));
+        report.allRuns.push_back(std::move(run));
+    }
+    report.totalRuns = report.allRuns.size();
+
+    // Rebuild the per-cell region analyses. Preserve first-seen
+    // order of the cells for stable output.
+    std::vector<std::pair<std::string, CoreId>> cell_keys;
+    std::map<std::pair<std::string, CoreId>, bool> seen;
+    for (const auto &run : report.allRuns) {
+        const auto key =
+            std::make_pair(run.key.workloadId, run.key.core);
+        if (!seen[key]) {
+            seen[key] = true;
+            cell_keys.push_back(key);
+        }
+    }
+    for (const auto &[workload_id, core] : cell_keys) {
+        CellResult cell;
+        cell.workloadId = workload_id;
+        cell.core = core;
+        cell.analysis = analyzeRegions(report.allRuns, workload_id,
+                                       core, weights);
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+void
+saveReport(const CharacterizationReport &report,
+           const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        util::fatalError("cannot write report to '" + path + "'");
+    out << serializeReport(report);
+}
+
+CharacterizationReport
+loadReport(const std::string &path, const SeverityWeights &weights)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatalError("cannot read report from '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return deserializeReport(text.str(), weights);
+}
+
+} // namespace vmargin

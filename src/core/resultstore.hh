@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Persistence for characterization results.
+ *
+ * The paper's framework stores raw logs and final CSVs so the
+ * parsing/analysis phases can run long after the (six-month!)
+ * measurement campaigns. This module round-trips a full
+ * CharacterizationReport through the on-disk CSV format: the
+ * exported file carries a metadata header line plus the per-run
+ * rows, and loading rebuilds every cell's region analysis from the
+ * rows alone — so downstream analyses (prediction, trade-offs,
+ * scheduling) can run against archived measurements.
+ */
+
+#ifndef VMARGIN_CORE_RESULTSTORE_HH
+#define VMARGIN_CORE_RESULTSTORE_HH
+
+#include <string>
+
+#include "framework.hh"
+
+namespace vmargin
+{
+
+/**
+ * Serialize a report: "# vmargin-report ..." metadata line followed
+ * by the classified-run CSV.
+ */
+std::string serializeReport(const CharacterizationReport &report);
+
+/**
+ * Rebuild a report from serializeReport() output. Region analyses
+ * and severity tables are recomputed from the run rows with the
+ * given weights. Panics on a malformed document (it is produced by
+ * this module; corruption means a storage bug).
+ */
+CharacterizationReport
+deserializeReport(const std::string &text,
+                  const SeverityWeights &weights = {});
+
+/** serializeReport straight to a file; fatal when unwritable. */
+void saveReport(const CharacterizationReport &report,
+                const std::string &path);
+
+/** deserializeReport from a file; fatal when unreadable. */
+CharacterizationReport
+loadReport(const std::string &path,
+           const SeverityWeights &weights = {});
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_RESULTSTORE_HH

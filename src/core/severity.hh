@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The severity function (paper section 3.4.1, second contribution).
+ *
+ *   S_v = W_SDC*SDC/N + W_CE*CE/N + W_UE*UE/N + W_AC*AC/N + W_SC*SC/N
+ *
+ * where N is the number of runs at voltage v and each effect term
+ * counts *the runs in which the effect appeared* (not the number of
+ * error events inside a run). Weights translate behaviours into
+ * numbers; Table 4 gives the defaults (SC 16, AC 8, SDC 4, UE 2,
+ * CE 1, NO 0) but they are configurable.
+ */
+
+#ifndef VMARGIN_CORE_SEVERITY_HH
+#define VMARGIN_CORE_SEVERITY_HH
+
+#include <vector>
+
+#include "effects.hh"
+
+namespace vmargin
+{
+
+/** Effect weights (Table 4 defaults). */
+struct SeverityWeights
+{
+    double sdc = 4.0;
+    double ce = 1.0;
+    double ue = 2.0;
+    double ac = 8.0;
+    double sc = 16.0;
+
+    /** Weight of one effect. */
+    double weight(Effect effect) const;
+
+    /** All weights must be non-negative; panics otherwise. */
+    void validate() const;
+};
+
+/**
+ * Severity of a set of runs at one voltage level.
+ * Panics on an empty run vector (N must be >= 1).
+ */
+double severity(const std::vector<EffectSet> &runs,
+                const SeverityWeights &weights = {});
+
+/**
+ * Severity of a single run's effect set (N = 1). The sum of the
+ * weights of the effects present.
+ */
+double severityOfSet(const EffectSet &set,
+                     const SeverityWeights &weights = {});
+
+/** Maximum reachable severity (all effects in every run). */
+double maxSeverity(const SeverityWeights &weights = {});
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_SEVERITY_HH

@@ -1,0 +1,155 @@
+#include "tradeoff.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vmargin
+{
+
+namespace
+{
+
+/** Snap @p mv up to the next multiple of @p step. */
+MilliVolt
+snapUp(MilliVolt mv, MilliVolt step)
+{
+    const MilliVolt rem = mv % step;
+    return rem ? mv + (step - rem) : mv;
+}
+
+constexpr int kNumPmds = 4;
+constexpr int kCoresPerPmd = 2;
+constexpr MilliVolt kNominal = 980;
+constexpr MilliVolt kStep = 5;
+
+} // namespace
+
+TradeoffExplorer::TradeoffExplorer(
+    const CharacterizationReport &report, MilliVolt half_speed_vmin)
+    : report_(report), halfSpeedVmin_(half_speed_vmin)
+{
+}
+
+MilliVolt
+TradeoffExplorer::requiredVoltage(
+    const std::vector<Placement> &placements,
+    const std::vector<PmdId> &slowed) const
+{
+    MilliVolt required = halfSpeedVmin_;
+    for (const auto &placement : placements) {
+        const PmdId pmd = placement.core / kCoresPerPmd;
+        const bool is_slowed =
+            std::find(slowed.begin(), slowed.end(), pmd) !=
+            slowed.end();
+        const MilliVolt need =
+            is_slowed
+                ? halfSpeedVmin_
+                : report_.cell(placement.workloadId, placement.core)
+                      .analysis.vmin;
+        required = std::max(required, need);
+    }
+    return std::min(kNominal, snapUp(required, kStep));
+}
+
+std::vector<PmdId>
+TradeoffExplorer::pmdsByWeakness(
+    const std::vector<Placement> &placements) const
+{
+    // A PMD's weakness is the highest full-speed Vmin any of its
+    // placed workloads demands.
+    MilliVolt demand[kNumPmds] = {0, 0, 0, 0};
+    for (const auto &placement : placements) {
+        const PmdId pmd = placement.core / kCoresPerPmd;
+        const MilliVolt need =
+            report_.cell(placement.workloadId, placement.core)
+                .analysis.vmin;
+        demand[pmd] = std::max(demand[pmd], need);
+    }
+    std::vector<PmdId> order;
+    for (PmdId p = 0; p < kNumPmds; ++p)
+        if (demand[p] > 0)
+            order.push_back(p);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](PmdId a, PmdId b) {
+                         return demand[a] > demand[b];
+                     });
+    return order;
+}
+
+double
+TradeoffExplorer::perPmdDomainPowerRel(
+    const std::vector<Placement> &placements) const
+{
+    if (placements.empty())
+        util::panicf("TradeoffExplorer: empty placement");
+    MilliVolt demand[kNumPmds] = {0, 0, 0, 0};
+    for (const auto &placement : placements) {
+        const PmdId pmd = placement.core / kCoresPerPmd;
+        demand[pmd] = std::max(
+            demand[pmd],
+            report_.cell(placement.workloadId, placement.core)
+                .analysis.vmin);
+    }
+    double power = 0.0;
+    int used = 0;
+    for (PmdId p = 0; p < kNumPmds; ++p) {
+        if (!demand[p])
+            continue;
+        const MilliVolt v = snapUp(demand[p], kStep);
+        power += power::relativeDynamicPower(v, kNominal, 1.0);
+        ++used;
+    }
+    return used ? power / static_cast<double>(used) : 1.0;
+}
+
+double
+TradeoffExplorer::singleDomainPowerRel(
+    const std::vector<Placement> &placements) const
+{
+    return power::relativeDynamicPower(
+        requiredVoltage(placements, {}), kNominal, 1.0);
+}
+
+std::vector<TradeoffPoint>
+TradeoffExplorer::ladder(
+    const std::vector<Placement> &placements) const
+{
+    if (placements.empty())
+        util::panicf("TradeoffExplorer: empty placement");
+
+    const std::vector<PmdId> weakness = pmdsByWeakness(placements);
+
+    std::vector<TradeoffPoint> points;
+    for (size_t k = 0; k <= weakness.size(); ++k) {
+        const std::vector<PmdId> slowed(weakness.begin(),
+                                        weakness.begin() +
+                                            static_cast<long>(k));
+        TradeoffPoint point;
+        point.slowedPmds = static_cast<int>(k);
+        point.voltage = requiredVoltage(placements, slowed);
+
+        point.pmdFrequencies.assign(kNumPmds, 2400);
+        for (PmdId p : slowed)
+            point.pmdFrequencies[static_cast<size_t>(p)] = 1200;
+
+        // Throughput: each slowed PMD halves its two cores' speed.
+        point.performanceRel =
+            1.0 - static_cast<double>(k) /
+                      (2.0 * static_cast<double>(kNumPmds));
+
+        // Paper Figure 9 power arithmetic: V^2 scaling times the
+        // average frequency ratio of the PMDs.
+        double freq_sum = 0.0;
+        for (MegaHertz f : point.pmdFrequencies)
+            freq_sum += static_cast<double>(f) / 2400.0;
+        const double freq_rel =
+            freq_sum / static_cast<double>(kNumPmds);
+        point.powerRel = power::relativeDynamicPower(
+            point.voltage, kNominal, freq_rel);
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+} // namespace vmargin

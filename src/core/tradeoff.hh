@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Energy/performance trade-offs (paper section 5, Figure 9).
+ *
+ * The chip has one voltage domain for all PMDs but per-PMD
+ * frequency, so with a mixed workload the domain voltage must
+ * satisfy the worst (workload, core) pair at its chosen frequency.
+ * Reducing the *weakest* PMDs to the divided clock lowers their
+ * voltage requirement to the uniform half-speed Vmin and lets the
+ * whole domain drop — trading throughput for power. The explorer
+ * enumerates exactly the ladder Figure 9 plots.
+ */
+
+#ifndef VMARGIN_CORE_TRADEOFF_HH
+#define VMARGIN_CORE_TRADEOFF_HH
+
+#include <string>
+#include <vector>
+
+#include "framework.hh"
+#include "power/power_model.hh"
+
+namespace vmargin
+{
+
+/** One task placed on one core. */
+struct Placement
+{
+    std::string workloadId;
+    CoreId core = 0;
+};
+
+/** One point of the Figure 9 ladder. */
+struct TradeoffPoint
+{
+    int slowedPmds = 0;          ///< PMDs moved to the divided clock
+    MilliVolt voltage = 980;     ///< required domain voltage
+    double performanceRel = 1.0; ///< throughput vs all-nominal
+    double powerRel = 1.0;       ///< package power vs all-nominal
+    std::vector<MegaHertz> pmdFrequencies;
+
+    /** Percent power saved vs nominal. */
+    double savingsPercent() const
+    {
+        return 100.0 * (1.0 - powerRel);
+    }
+};
+
+/** Computes the ladder for a workload mix on a characterized chip. */
+class TradeoffExplorer
+{
+  public:
+    /**
+     * @param report full-speed characterization of the chip
+     * @param half_speed_vmin the uniform divided-clock Vmin
+     *        (760 mV on all three chips in the paper)
+     */
+    TradeoffExplorer(const CharacterizationReport &report,
+                     MilliVolt half_speed_vmin = 760);
+
+    /**
+     * Required domain voltage when @p placements run and the PMDs
+     * in @p slowed run the divided clock. Snapped up to the 5 mV
+     * regulation grid.
+     */
+    MilliVolt requiredVoltage(const std::vector<Placement> &placements,
+                              const std::vector<PmdId> &slowed) const;
+
+    /**
+     * The Figure 9 ladder: step k slows the k weakest PMDs (by
+     * their voltage requirement) to the divided clock.
+     */
+    std::vector<TradeoffPoint>
+    ladder(const std::vector<Placement> &placements) const;
+
+    /**
+     * Weakest-first PMD order for the given placements (the order
+     * the ladder slows them in).
+     */
+    std::vector<PmdId>
+    pmdsByWeakness(const std::vector<Placement> &placements) const;
+
+    /**
+     * Section 6, "finer-grained voltage domains": relative power if
+     * each PMD had its own supply, so every PMD runs at its own
+     * worst cell's Vmin instead of the chip-wide worst. All PMDs at
+     * full speed; PMDs without placed work are ignored.
+     */
+    double perPmdDomainPowerRel(
+        const std::vector<Placement> &placements) const;
+
+    /** Single-domain counterpart of perPmdDomainPowerRel. */
+    double singleDomainPowerRel(
+        const std::vector<Placement> &placements) const;
+
+  private:
+    const CharacterizationReport &report_;
+    MilliVolt halfSpeedVmin_;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_TRADEOFF_HH

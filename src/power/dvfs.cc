@@ -1,0 +1,43 @@
+#include "dvfs.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::power
+{
+
+std::vector<MilliVolt>
+voltageSweep(MilliVolt from, MilliVolt to, MilliVolt step)
+{
+    if (step <= 0)
+        util::panicf("voltageSweep: step must be positive");
+    if (from < to)
+        util::panicf("voltageSweep: from ", from, " below to ", to);
+    std::vector<MilliVolt> sweep;
+    for (MilliVolt v = from; v >= to; v -= step)
+        sweep.push_back(v);
+    return sweep;
+}
+
+std::vector<MegaHertz>
+frequencyLadder(const sim::XGene2Params &params)
+{
+    std::vector<MegaHertz> ladder;
+    for (MegaHertz f = params.maxFrequency; f >= params.minFrequency;
+         f -= params.frequencyStep)
+        ladder.push_back(f);
+    return ladder;
+}
+
+std::vector<OperatingPoint>
+operatingGrid(const sim::XGene2Params &params, MilliVolt min_voltage)
+{
+    std::vector<OperatingPoint> grid;
+    for (MilliVolt v : voltageSweep(params.nominalPmdVoltage,
+                                    min_voltage,
+                                    params.voltageStepSize))
+        for (MegaHertz f : frequencyLadder(params))
+            grid.push_back(OperatingPoint{v, f});
+    return grid;
+}
+
+} // namespace vmargin::power

@@ -1,0 +1,56 @@
+#include "energy.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::power
+{
+
+EnergyAccountant::EnergyAccountant(
+    PowerModel model, const sim::ProcessVariation &variation,
+    MilliVolt soc_voltage)
+    : model_(std::move(model)), variation_(variation),
+      socVoltage_(soc_voltage)
+{
+}
+
+EnergyBreakdown
+EnergyAccountant::runEnergy(CoreId core, const sim::RunResult &run,
+                            Celsius temperature) const
+{
+    return scaledEnergy(core, run, run.voltage, run.frequency,
+                        temperature);
+}
+
+EnergyBreakdown
+EnergyAccountant::scaledEnergy(CoreId core,
+                               const sim::RunResult &run,
+                               MilliVolt voltage,
+                               MegaHertz frequency,
+                               Celsius temperature) const
+{
+    if (frequency <= 0)
+        util::panicf("EnergyAccountant: bad frequency ", frequency);
+    // Cycle count is V/F independent in this model, so wall time
+    // scales inversely with frequency.
+    const double cycles = run.simulatedSeconds *
+                          static_cast<double>(run.frequency) * 1e6;
+    const Second seconds =
+        cycles / (static_cast<double>(frequency) * 1e6);
+
+    CoreOperatingPoint op;
+    op.voltage = voltage;
+    op.frequency = frequency;
+    op.activity = run.activityFactor;
+    op.leakageFactor = variation_.core(core).leakageFactor;
+    op.temperature = temperature;
+
+    EnergyBreakdown energy;
+    energy.coreDynamic = model_.coreDynamic(op) * seconds;
+    energy.coreLeakage = model_.coreLeakage(op) * seconds;
+    energy.soc = model_.socPower(socVoltage_, temperature,
+                                 variation_.chipLeakageFactor()) *
+                 seconds;
+    return energy;
+}
+
+} // namespace vmargin::power

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Energy accounting for characterization runs: integrates the power
+ * model over a run's duration and compares configurations against
+ * the nominal operating point.
+ */
+
+#ifndef VMARGIN_POWER_ENERGY_HH
+#define VMARGIN_POWER_ENERGY_HH
+
+#include "power_model.hh"
+#include "sim/core.hh"
+#include "sim/process_variation.hh"
+
+namespace vmargin::power
+{
+
+/** Energy of one run, split by source. */
+struct EnergyBreakdown
+{
+    Joule coreDynamic = 0.0;
+    Joule coreLeakage = 0.0;
+    Joule soc = 0.0;
+
+    Joule total() const { return coreDynamic + coreLeakage + soc; }
+};
+
+/** Turns RunResults into joules. */
+class EnergyAccountant
+{
+  public:
+    /**
+     * @param model power model
+     * @param variation silicon map (for per-core leakage)
+     * @param soc_voltage PCP/SoC domain voltage during the runs
+     */
+    EnergyAccountant(PowerModel model,
+                     const sim::ProcessVariation &variation,
+                     MilliVolt soc_voltage);
+
+    /**
+     * Energy consumed by @p run on @p core, attributing the full
+     * SoC power to this run (single-workload accounting).
+     */
+    EnergyBreakdown runEnergy(CoreId core,
+                              const sim::RunResult &run,
+                              Celsius temperature) const;
+
+    /**
+     * Energy of the same work at a different voltage/frequency,
+     * assuming cycle counts are V/F independent (time scales as
+     * 1/f). Used to compare undervolted runs against nominal.
+     */
+    EnergyBreakdown scaledEnergy(CoreId core,
+                                 const sim::RunResult &run,
+                                 MilliVolt voltage,
+                                 MegaHertz frequency,
+                                 Celsius temperature) const;
+
+    const PowerModel &model() const { return model_; }
+
+  private:
+    PowerModel model_;
+    const sim::ProcessVariation &variation_;
+    MilliVolt socVoltage_;
+};
+
+} // namespace vmargin::power
+
+#endif // VMARGIN_POWER_ENERGY_HH

@@ -1,0 +1,158 @@
+#include "daemon.hh"
+
+#include "core/effects.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::sched
+{
+
+GovernorDaemon::GovernorDaemon(sim::Platform *platform,
+                               VoltageGovernor governor)
+    : platform_(platform), governor_(std::move(governor)),
+      slimpro_(platform), watchdog_(platform)
+{
+    if (!platform_)
+        util::panicf("GovernorDaemon: null platform");
+}
+
+void
+GovernorDaemon::registerProfile(const WorkloadCounters &profile)
+{
+    profiles_[profile.workloadId] = profile;
+}
+
+DaemonResult
+GovernorDaemon::run(const std::vector<Placement> &placements,
+                    int rounds, Seed seed, uint32_t max_epochs)
+{
+    DaemonOptions options;
+    options.maxEpochs = max_epochs;
+    return run(placements, rounds, seed, options);
+}
+
+DaemonResult
+GovernorDaemon::run(const std::vector<Placement> &placements,
+                    int rounds, Seed seed,
+                    const DaemonOptions &options)
+{
+    if (placements.empty())
+        util::fatalError("daemon: empty placement");
+    for (const auto &placement : placements)
+        if (!profiles_.count(placement.workloadId))
+            util::fatalError("daemon: no registered profile for '" +
+                             placement.workloadId + "'");
+
+    // Observations are fixed per placement (profiles collected at
+    // nominal conditions, like the paper's offline profiling).
+    std::vector<CoreObservation> observations;
+    for (const auto &placement : placements) {
+        CoreObservation obs;
+        obs.core = placement.core;
+        const WorkloadCounters &profile =
+            profiles_.at(placement.workloadId);
+        for (size_t e = 0; e < sim::kNumPmuEvents; ++e)
+            obs.counterFeatures.push_back(profile.perKilo(
+                static_cast<sim::PmuEvent>(e)));
+        observations.push_back(std::move(obs));
+    }
+
+    const power::EnergyAccountant accountant(
+        power::PowerModel{}, platform_->chip().variation(), 950);
+
+    DaemonResult result;
+    const uint64_t resets_before = watchdog_.interventions();
+    double voltage_sum = 0.0;
+    double total_energy = 0.0;
+    double total_nominal = 0.0;
+
+    for (int round = 0; round < rounds; ++round) {
+        watchdog_.ensureResponsive("daemon round start");
+
+        RoundRecord record;
+        record.round = round;
+        record.voltage = governor_.decide(observations);
+        if (!slimpro_.setPmdVoltage(record.voltage))
+            util::panicf("daemon: SLIMpro rejected ",
+                         record.voltage, " mV");
+
+        for (const auto &placement : placements) {
+            if (!platform_->responsive()) {
+                // An earlier task of this round took the machine
+                // down; the remaining tasks simply did not run.
+                break;
+            }
+            const auto workload =
+                wl::findWorkload(placement.workloadId);
+            sim::ExecutionConfig exec;
+            exec.maxEpochs = options.maxEpochs;
+            const Seed run_seed = util::mixSeed(
+                util::mixSeed(seed,
+                              static_cast<uint64_t>(round)),
+                static_cast<uint64_t>(placement.core));
+            const sim::RunResult run = platform_->runWorkload(
+                placement.core, workload, run_seed, exec);
+
+            const Celsius temp =
+                platform_->thermal().temperature();
+            record.energyJoule +=
+                accountant.runEnergy(placement.core, run, temp)
+                    .total();
+            record.nominalJoule +=
+                accountant
+                    .scaledEnergy(placement.core, run, 980,
+                                  run.frequency, temp)
+                    .total();
+            record.anyAbnormal =
+                record.anyAbnormal || run.abnormal();
+            record.crashed = record.crashed || run.systemCrashed;
+
+            // Section 4.4 recovery: an output mismatch triggers
+            // re-execution at the safe voltage; correctness is
+            // preserved at the price of the recovery energy.
+            if (options.reexecuteOnSdc && run.completed &&
+                !run.outputMatches && platform_->responsive()) {
+                slimpro_.setPmdVoltage(options.safeVoltage);
+                const sim::RunResult redo = platform_->runWorkload(
+                    placement.core, workload,
+                    util::mixSeed(run_seed, 0x5AFEULL), exec);
+                record.energyJoule +=
+                    accountant
+                        .runEnergy(placement.core, redo, temp)
+                        .total();
+                ++record.reexecutions;
+                // Back to the round's operating point for the
+                // remaining tasks.
+                if (platform_->responsive())
+                    slimpro_.setPmdVoltage(record.voltage);
+            }
+        }
+
+        // Safe data collection: back to nominal between rounds.
+        if (platform_->responsive())
+            slimpro_.setPmdVoltage(980);
+
+        voltage_sum += static_cast<double>(record.voltage);
+        total_energy += record.energyJoule;
+        total_nominal += record.nominalJoule;
+        result.abnormalRounds += record.anyAbnormal ? 1 : 0;
+        result.crashes += record.crashed ? 1 : 0;
+        result.reexecutions +=
+            static_cast<uint64_t>(record.reexecutions);
+        result.rounds.push_back(record);
+    }
+
+    watchdog_.ensureResponsive("daemon end");
+    result.watchdogResets =
+        watchdog_.interventions() - resets_before;
+    result.averageVoltage =
+        voltage_sum / static_cast<double>(rounds);
+    result.energySavingsPercent =
+        total_nominal > 0.0
+            ? 100.0 * (1.0 - total_energy / total_nominal)
+            : 0.0;
+    return result;
+}
+
+} // namespace vmargin::sched

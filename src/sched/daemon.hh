@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Closed-loop undervolting daemon simulation.
+ *
+ * The paper positions the severity predictor as the brain of an
+ * online "software daemon" (sections 3.4.1 and 5) that watches the
+ * PMU, sets the shared domain voltage and lets the workload run.
+ * This module closes that loop against the simulated platform: per
+ * scheduling round the daemon observes the active cores' counter
+ * profiles, asks the governor for a voltage, applies it through the
+ * SLIMpro, executes the round, accounts the energy and recovers
+ * from any crash through the watchdog. The result quantifies the
+ * realized savings and the safety record of the whole scheme.
+ */
+
+#ifndef VMARGIN_SCHED_DAEMON_HH
+#define VMARGIN_SCHED_DAEMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "core/tradeoff.hh"
+#include "governor.hh"
+#include "power/energy.hh"
+#include "sim/slimpro.hh"
+#include "sim/watchdog.hh"
+
+namespace vmargin::sched
+{
+
+/** One scheduling round's outcome. */
+struct RoundRecord
+{
+    int round = 0;
+    MilliVolt voltage = 980;   ///< governor's decision
+    double energyJoule = 0.0;  ///< consumed at that voltage
+    double nominalJoule = 0.0; ///< same work at nominal voltage
+    bool anyAbnormal = false;  ///< SDC/CE/UE/AC in the round
+    bool crashed = false;      ///< machine went down this round
+    int reexecutions = 0;      ///< SDC recoveries this round
+};
+
+/** Daemon behaviour knobs. */
+struct DaemonOptions
+{
+    /** Execution-length trim per task. */
+    uint32_t maxEpochs = 10;
+
+    /**
+     * Section 4.4 mitigation: when a completed task's output
+     * mismatches (SDC), re-execute it at the safe voltage and pay
+     * the extra energy. Lets an aggressive severity tolerance stay
+     * *correct* — the daemon result then shows whether the gamble
+     * still saves energy net of recoveries.
+     */
+    bool reexecuteOnSdc = false;
+
+    /** Voltage used for re-executions (and known-safe work). */
+    MilliVolt safeVoltage = 980;
+};
+
+/** Aggregate daemon statistics. */
+struct DaemonResult
+{
+    std::vector<RoundRecord> rounds;
+    double averageVoltage = 980.0;
+    double energySavingsPercent = 0.0; ///< vs all-nominal energy
+    uint64_t abnormalRounds = 0;
+    uint64_t crashes = 0;
+    uint64_t watchdogResets = 0;
+    uint64_t reexecutions = 0; ///< SDC recoveries (if enabled)
+};
+
+/** The closed-loop daemon. */
+class GovernorDaemon
+{
+  public:
+    /**
+     * @param platform machine under control (not owned)
+     * @param governor trained voltage governor (moved in)
+     */
+    GovernorDaemon(sim::Platform *platform, VoltageGovernor governor);
+
+    /**
+     * Register the nominal-condition counter profile of a workload;
+     * the daemon observes these counters when that workload is
+     * scheduled (the paper's "monitoring the 5 representative
+     * performance counters").
+     */
+    void registerProfile(const WorkloadCounters &profile);
+
+    /**
+     * Run @p rounds scheduling rounds of the fixed placement. Every
+     * placed workload must have a registered profile and its core a
+     * governor predictor; otherwise the round pins nominal voltage
+     * (the governor's fail-safe).
+     */
+    DaemonResult run(const std::vector<Placement> &placements,
+                     int rounds, Seed seed,
+                     const DaemonOptions &options);
+
+    /** Convenience overload with default options. */
+    DaemonResult run(const std::vector<Placement> &placements,
+                     int rounds, Seed seed,
+                     uint32_t max_epochs = 10);
+
+    const VoltageGovernor &governor() const { return governor_; }
+
+  private:
+    sim::Platform *platform_;
+    VoltageGovernor governor_;
+    sim::SlimPro slimpro_;
+    sim::Watchdog watchdog_;
+    std::map<std::string, WorkloadCounters> profiles_;
+};
+
+} // namespace vmargin::sched
+
+#endif // VMARGIN_SCHED_DAEMON_HH

@@ -1,0 +1,81 @@
+#include "governor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vmargin::sched
+{
+
+VoltageGovernor::VoltageGovernor(GovernorConfig config)
+    : config_(config)
+{
+    if (config_.step <= 0 || config_.guardSteps < 0)
+        util::panicf("VoltageGovernor: bad config");
+    if (config_.floor > config_.nominal)
+        util::panicf("VoltageGovernor: floor above nominal");
+}
+
+void
+VoltageGovernor::setPredictor(CoreId core, LinearPredictor predictor)
+{
+    if (!predictor.trained())
+        util::panicf("VoltageGovernor: untrained predictor for core ",
+                     core);
+    predictors_[core] = std::move(predictor);
+}
+
+bool
+VoltageGovernor::hasPredictor(CoreId core) const
+{
+    return predictors_.count(core) > 0;
+}
+
+double
+VoltageGovernor::predictSeverity(const CoreObservation &observation,
+                                 MilliVolt voltage) const
+{
+    auto it = predictors_.find(observation.core);
+    if (it == predictors_.end())
+        util::panicf("VoltageGovernor: no predictor for core ",
+                     observation.core);
+    // Severity models take the full counter row with the voltage
+    // appended as the last feature.
+    stats::Vector sample = observation.counterFeatures;
+    sample.push_back(static_cast<double>(voltage));
+    return std::max(0.0, it->second.predict(sample));
+}
+
+MilliVolt
+VoltageGovernor::decide(
+    const std::vector<CoreObservation> &observations) const
+{
+    if (observations.empty())
+        return config_.nominal;
+
+    // Fail-safe: an unmodelled core pins the domain at nominal.
+    for (const auto &obs : observations)
+        if (!hasPredictor(obs.core))
+            return config_.nominal;
+
+    MilliVolt lowest_ok = config_.nominal;
+    for (MilliVolt v = config_.nominal; v >= config_.floor;
+         v -= config_.step) {
+        bool all_ok = true;
+        for (const auto &obs : observations) {
+            if (predictSeverity(obs, v) > config_.severityTolerance) {
+                all_ok = false;
+                break;
+            }
+        }
+        if (!all_ok)
+            break;
+        lowest_ok = v;
+    }
+
+    const MilliVolt guarded =
+        lowest_ok + config_.guardSteps * config_.step;
+    return std::min(config_.nominal, guarded);
+}
+
+} // namespace vmargin::sched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Online voltage governor (the "software daemon" of paper section
+ * 3.4.1 / 5): watches each active core's PMU counters, predicts the
+ * severity of candidate voltages with the trained linear model, and
+ * sets the shared domain to the lowest voltage whose predicted
+ * severity stays within the tolerance for *every* active core —
+ * plus a configurable guard step.
+ */
+
+#ifndef VMARGIN_SCHED_GOVERNOR_HH
+#define VMARGIN_SCHED_GOVERNOR_HH
+
+#include <map>
+#include <vector>
+
+#include "core/predictor.hh"
+
+namespace vmargin::sched
+{
+
+/** Governor tuning. */
+struct GovernorConfig
+{
+    /** Highest acceptable predicted severity. 0 = fully safe
+     *  operation; raising it toward the SDC weight (4) lets
+     *  SDC-tolerant applications harvest deeper savings. */
+    double severityTolerance = 0.0;
+
+    /** Extra regulation steps above the decision (guardband). */
+    int guardSteps = 1;
+
+    MilliVolt nominal = 980;
+    MilliVolt floor = 840; ///< never decide below this
+    MilliVolt step = 5;
+};
+
+/** One active core's observation: its full counter feature row. */
+struct CoreObservation
+{
+    CoreId core = 0;
+    stats::Vector counterFeatures; ///< per-kilo counters (101 wide)
+};
+
+/** Severity-predicting voltage governor. */
+class VoltageGovernor
+{
+  public:
+    explicit VoltageGovernor(GovernorConfig config = {});
+
+    /**
+     * Install the severity predictor for @p core. The predictor
+     * must have been trained on a severity dataset (features =
+     * counters + voltage appended last).
+     */
+    void setPredictor(CoreId core, LinearPredictor predictor);
+
+    /** True when @p core has a predictor installed. */
+    bool hasPredictor(CoreId core) const;
+
+    /**
+     * Predicted severity for @p observation at @p voltage.
+     * Clamped below at 0 (negative severity is meaningless).
+     */
+    double predictSeverity(const CoreObservation &observation,
+                           MilliVolt voltage) const;
+
+    /**
+     * Decide the domain voltage for the active cores. Scans down
+     * from nominal and stops before the first voltage whose
+     * predicted severity exceeds the tolerance on any core, then
+     * backs off by the guard steps. Cores without a predictor pin
+     * the domain at nominal (fail-safe).
+     */
+    MilliVolt decide(
+        const std::vector<CoreObservation> &observations) const;
+
+    const GovernorConfig &config() const { return config_; }
+
+  private:
+    GovernorConfig config_;
+    std::map<CoreId, LinearPredictor> predictors_;
+};
+
+} // namespace vmargin::sched
+
+#endif // VMARGIN_SCHED_GOVERNOR_HH

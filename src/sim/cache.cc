@@ -1,0 +1,136 @@
+#include "cache.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+using util::panicf;
+
+namespace
+{
+
+int
+log2OfPow2(int value)
+{
+    int shift = 0;
+    while ((1 << shift) < value)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, int size_kb, int assoc, int line_bytes,
+             Protection protection)
+    : name_(std::move(name)), sizeKb_(size_kb), assoc_(assoc),
+      lineBytes_(line_bytes), protection_(protection)
+{
+    if (size_kb <= 0 || assoc <= 0 || line_bytes <= 0)
+        panicf("Cache ", name_, ": non-positive geometry");
+    if (line_bytes & (line_bytes - 1))
+        panicf("Cache ", name_, ": line size must be a power of two");
+    const auto total_lines =
+        static_cast<size_t>(size_kb) * 1024 /
+        static_cast<size_t>(line_bytes);
+    if (total_lines % static_cast<size_t>(assoc) != 0)
+        panicf("Cache ", name_, ": ", total_lines,
+               " lines not divisible by associativity ", assoc);
+    sets_ = total_lines / static_cast<size_t>(assoc);
+    if (sets_ == 0 || (sets_ & (sets_ - 1)))
+        panicf("Cache ", name_, ": set count ", sets_,
+               " must be a non-zero power of two");
+    lineShift_ = log2OfPow2(line_bytes);
+    ways_.resize(sets_ * static_cast<size_t>(assoc_));
+}
+
+size_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr >> lineShift_) & (sets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+AccessResult
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++useClock_;
+    ++stats_.accesses;
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Way *base = &ways_[set * static_cast<size_t>(assoc_)];
+
+    AccessResult result;
+    Way *victim = base;
+    for (int w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            ++stats_.hits;
+            way.lastUse = useClock_;
+            way.dirty = way.dirty || is_write;
+            result.hit = true;
+            return result;
+        }
+        // Track the eviction candidate: any invalid way wins,
+        // otherwise least recently used.
+        if (!victim->valid)
+            continue;
+        if (!way.valid || way.lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    ++stats_.misses;
+    ++stats_.fills;
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        result.evictedDirty = true;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    victim->dirty = is_write;
+    return result;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const Way *base = &ways_[set * static_cast<size_t>(assoc_)];
+    for (int w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+size_t
+Cache::validLines() const
+{
+    size_t count = 0;
+    for (const auto &way : ways_)
+        if (way.valid)
+            ++count;
+    return count;
+}
+
+} // namespace vmargin::sim

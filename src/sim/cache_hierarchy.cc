@@ -1,0 +1,168 @@
+#include "cache_hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+CacheHierarchy::CacheHierarchy(const XGene2Params &params)
+    : params_(params)
+{
+    params_.validate();
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        const std::string core_name = "core" + std::to_string(c);
+        l1i_.push_back(std::make_unique<Cache>(
+            core_name + ".l1i", params_.l1iKb, params_.l1iAssoc,
+            params_.cacheLineBytes, Protection::Parity));
+        l1d_.push_back(std::make_unique<Cache>(
+            core_name + ".l1d", params_.l1dKb, params_.l1dAssoc,
+            params_.cacheLineBytes, Protection::Parity));
+    }
+    for (PmdId p = 0; p < params_.numPmds; ++p) {
+        l2_.push_back(std::make_unique<Cache>(
+            "pmd" + std::to_string(p) + ".l2", params_.l2Kb,
+            params_.l2Assoc, params_.cacheLineBytes, Protection::Ecc));
+    }
+    l3_ = std::make_unique<Cache>("soc.l3", params_.l3Kb,
+                                  params_.l3Assoc,
+                                  params_.cacheLineBytes,
+                                  Protection::Ecc);
+}
+
+void
+CacheHierarchy::checkCore(CoreId core) const
+{
+    if (core < 0 || core >= params_.numCores)
+        util::panicf("CacheHierarchy: core ", core, " out of range");
+}
+
+Cache &
+CacheHierarchy::l1i(CoreId core)
+{
+    checkCore(core);
+    return *l1i_[static_cast<size_t>(core)];
+}
+
+Cache &
+CacheHierarchy::l1d(CoreId core)
+{
+    checkCore(core);
+    return *l1d_[static_cast<size_t>(core)];
+}
+
+Cache &
+CacheHierarchy::l2(PmdId pmd)
+{
+    if (pmd < 0 || pmd >= params_.numPmds)
+        util::panicf("CacheHierarchy: PMD ", pmd, " out of range");
+    return *l2_[static_cast<size_t>(pmd)];
+}
+
+const Cache &
+CacheHierarchy::l1i(CoreId core) const
+{
+    checkCore(core);
+    return *l1i_[static_cast<size_t>(core)];
+}
+
+const Cache &
+CacheHierarchy::l1d(CoreId core) const
+{
+    checkCore(core);
+    return *l1d_[static_cast<size_t>(core)];
+}
+
+const Cache &
+CacheHierarchy::l2(PmdId pmd) const
+{
+    if (pmd < 0 || pmd >= params_.numPmds)
+        util::panicf("CacheHierarchy: PMD ", pmd, " out of range");
+    return *l2_[static_cast<size_t>(pmd)];
+}
+
+HierarchyAccess
+CacheHierarchy::dataAccess(CoreId core, uint64_t addr, bool is_write)
+{
+    checkCore(core);
+    // Per-core address spaces are disjoint so concurrent workloads
+    // on different cores don't alias in the shared levels; the PMD
+    // pair still shares L2 capacity, the chip shares L3.
+    const uint64_t global =
+        addr + (static_cast<uint64_t>(core) << 40);
+
+    HierarchyAccess out;
+    const AccessResult l1r = l1d(core).access(global, is_write);
+    if (l1r.hit)
+        return out;
+    out.l1Miss = true;
+    out.writebackFromL1 = l1r.evictedDirty;
+
+    const PmdId pmd = params_.pmdOfCore(core);
+    // The L1 victim writeback and the demand fill both touch L2; the
+    // demand access dominates statistics, writebacks are recorded as
+    // writes.
+    if (l1r.evictedDirty)
+        l2(pmd).access(global ^ 0x1000, true);
+    const AccessResult l2r = l2(pmd).access(global, is_write);
+    if (l2r.hit)
+        return out;
+    out.l2Miss = true;
+    out.writebackFromL2 = l2r.evictedDirty;
+
+    if (l2r.evictedDirty)
+        l3().access(global ^ 0x2000, true);
+    const AccessResult l3r = l3().access(global, is_write);
+    out.l3Miss = !l3r.hit;
+    return out;
+}
+
+HierarchyAccess
+CacheHierarchy::instrFetch(CoreId core, uint64_t addr)
+{
+    checkCore(core);
+    const uint64_t global =
+        addr + (static_cast<uint64_t>(core) << 40) +
+        (1ULL << 39); // code and data live in disjoint regions
+
+    HierarchyAccess out;
+    const AccessResult l1r = l1i(core).access(global, false);
+    if (l1r.hit)
+        return out;
+    out.l1Miss = true;
+
+    const PmdId pmd = params_.pmdOfCore(core);
+    const AccessResult l2r = l2(pmd).access(global, false);
+    if (l2r.hit)
+        return out;
+    out.l2Miss = true;
+
+    const AccessResult l3r = l3().access(global, false);
+    out.l3Miss = !l3r.hit;
+    return out;
+}
+
+void
+CacheHierarchy::invalidateAll()
+{
+    for (auto &cache : l1i_)
+        cache->invalidateAll();
+    for (auto &cache : l1d_)
+        cache->invalidateAll();
+    for (auto &cache : l2_)
+        cache->invalidateAll();
+    l3_->invalidateAll();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &cache : l1i_)
+        cache->resetStats();
+    for (auto &cache : l1d_)
+        cache->resetStats();
+    for (auto &cache : l2_)
+        cache->resetStats();
+    l3_->resetStats();
+}
+
+} // namespace vmargin::sim

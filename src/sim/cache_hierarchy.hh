@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The X-Gene 2 cache topology (Figure 1): per-core parity-protected
+ * L1I/L1D, one ECC L2 per PMD (shared by its two cores), and a
+ * shared ECC L3 in the PCP/SoC domain.
+ */
+
+#ifndef VMARGIN_SIM_CACHE_HIERARCHY_HH
+#define VMARGIN_SIM_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache.hh"
+#include "param.hh"
+
+namespace vmargin::sim
+{
+
+/** Which levels a data access missed in. */
+struct HierarchyAccess
+{
+    bool l1Miss = false;
+    bool l2Miss = false;
+    bool l3Miss = false; ///< true means the access went to DRAM
+    bool writebackFromL1 = false;
+    bool writebackFromL2 = false;
+};
+
+/** All caches of one chip, wired per the X-Gene 2 topology. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const XGene2Params &params);
+
+    /**
+     * Data access by @p core at @p addr; walks L1D -> L2 -> L3 and
+     * allocates on the way back.
+     */
+    HierarchyAccess dataAccess(CoreId core, uint64_t addr,
+                               bool is_write);
+
+    /** Instruction fetch by @p core; walks L1I -> L2 -> L3. */
+    HierarchyAccess instrFetch(CoreId core, uint64_t addr);
+
+    Cache &l1i(CoreId core);
+    Cache &l1d(CoreId core);
+    Cache &l2(PmdId pmd);
+    Cache &l3() { return *l3_; }
+
+    const Cache &l1i(CoreId core) const;
+    const Cache &l1d(CoreId core) const;
+    const Cache &l2(PmdId pmd) const;
+    const Cache &l3() const { return *l3_; }
+
+    /** Invalidate every cache (power cycle). */
+    void invalidateAll();
+
+    /** Zero the statistics of every cache. */
+    void resetStats();
+
+    const XGene2Params &params() const { return params_; }
+
+  private:
+    void checkCore(CoreId core) const;
+
+    XGene2Params params_;
+    std::vector<std::unique_ptr<Cache>> l1i_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> l3_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_CACHE_HIERARCHY_HH

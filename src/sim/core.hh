@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Core execution engine.
+ *
+ * A Core "runs" a workload profile epoch by epoch: the activity
+ * generator supplies event counts, sampled address streams drive the
+ * functional cache hierarchy, the PMU accumulates the 101 counters,
+ * and the fault layer injects undervolting effects according to the
+ * margin model's ground-truth onsets.
+ *
+ * Fault semantics per run: for every effect class the run draws a
+ * jittered threshold around the onset (run-to-run non-determinism);
+ * when the supply sits at or below a threshold the corresponding
+ * effect manifests — SDC/CE/UE as event counts growing with depth,
+ * AC/SC as a terminating event at a random epoch.
+ */
+
+#ifndef VMARGIN_SIM_CORE_HH
+#define VMARGIN_SIM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache_hierarchy.hh"
+#include "clock.hh"
+#include "edac.hh"
+#include "margin_model.hh"
+#include "param.hh"
+#include "pmu.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+#include "workloads/generator.hh"
+#include "workloads/profile.hh"
+
+namespace vmargin::sim
+{
+
+/** Knobs for one characterization run. */
+struct ExecutionConfig
+{
+    MilliVolt voltage = 980;
+    MegaHertz frequency = 2400;
+    SpeedClass speedClass = SpeedClass::Full;
+    Seed seed = 0; ///< per-run stream; fully determines the run
+
+    /** 0 = use the profile's epoch count. */
+    uint32_t maxEpochs = 0;
+
+    /** Cache-model sampling density (accesses simulated per epoch;
+     *  counters are scaled back up to the true totals). */
+    uint32_t dataSamplesPerEpoch = 128;
+    uint32_t instrSamplesPerEpoch = 48;
+
+    /** Package temperature during the run. Timing margins shrink
+     *  as silicon heats up (~0.45 mV per degree C above the paper's
+     *  43 C stabilization point); the fan controller normally pins
+     *  this, which is exactly why the paper controls it. */
+    Celsius temperature = 43.0;
+
+    /**
+     * di/dt droop sensitivity (the voltage-noise mechanism of the
+     * related work [4, 17, 28]): millivolts of timing margin lost
+     * per unit of *relative* epoch-to-epoch IPC swing. 0 (default)
+     * models the stiff power-delivery network the calibration
+     * assumes; the ablation_droop bench sweeps it.
+     */
+    double droopSensitivityMv = 0.0;
+};
+
+/** Everything observed about one run. */
+struct RunResult
+{
+    // -- outcome --------------------------------------------------
+    bool systemCrashed = false;      ///< platform went unresponsive
+    bool applicationCrashed = false; ///< process died (exit != 0)
+    bool completed = false;          ///< ran to the final epoch
+    bool outputMatches = true;       ///< checksum vs golden output
+    int exitCode = 0;
+    uint64_t sdcEvents = 0;
+    uint64_t correctedErrors = 0;
+    uint64_t uncorrectedErrors = 0;
+    uint32_t epochsExecuted = 0;
+
+    // -- observables ----------------------------------------------
+    MilliVolt voltage = 0;
+    MegaHertz frequency = 0;
+    double simulatedSeconds = 0.0;
+    double avgIpc = 0.0;
+    /** Switching-activity proxy in [0, 1] for the power model. */
+    double activityFactor = 0.0;
+    PmuSnapshot counters{};
+    std::vector<ErrorRecord> errors;
+
+    /** True when any abnormal effect was observed. */
+    bool abnormal() const
+    {
+        return systemCrashed || applicationCrashed ||
+               !outputMatches || correctedErrors > 0 ||
+               uncorrectedErrors > 0;
+    }
+};
+
+/** One ARMv8 core of the simulated chip. */
+class Core
+{
+  public:
+    /**
+     * @param id core number (0..7)
+     * @param params platform parameters
+     * @param caches the chip's cache hierarchy (not owned)
+     */
+    Core(CoreId id, const XGene2Params &params,
+         CacheHierarchy *caches);
+
+    /**
+     * Execute @p workload under @p config with ground-truth
+     * @p onsets. Deterministic in config.seed.
+     */
+    RunResult run(const wl::WorkloadProfile &workload,
+                  const OnsetSet &onsets,
+                  const ExecutionConfig &config);
+
+    CoreId id() const { return id_; }
+
+    /** Counters of the most recent run. */
+    const Pmu &pmu() const { return pmu_; }
+
+  private:
+    /** Fold one epoch's activity + cache behaviour into the PMU. */
+    void updatePmu(const wl::EpochActivity &act,
+                   const wl::WorkloadProfile &workload,
+                   uint64_t l1d_misses, uint64_t l1d_writebacks,
+                   uint64_t l2_misses, uint64_t l2_writebacks,
+                   uint64_t l3_misses, uint64_t l1i_misses,
+                   uint64_t l2i_misses);
+
+    CoreId id_;
+    XGene2Params params_;
+    CacheHierarchy *caches_;
+    Pmu pmu_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_CORE_HH

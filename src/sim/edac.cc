@@ -1,0 +1,74 @@
+#include "edac.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+std::string
+errorSiteName(ErrorSite site)
+{
+    switch (site) {
+      case ErrorSite::L1Cache:
+        return "L1Cache";
+      case ErrorSite::L2Cache:
+        return "L2Cache";
+      case ErrorSite::L3Cache:
+        return "L3Cache";
+      case ErrorSite::Dram:
+        return "DRAM";
+    }
+    util::panicf("errorSiteName: invalid site ",
+                 static_cast<int>(site));
+}
+
+std::string
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Corrected:
+        return "CE";
+      case ErrorKind::Uncorrected:
+        return "UE";
+    }
+    util::panicf("errorKindName: invalid kind ",
+                 static_cast<int>(kind));
+}
+
+void
+EdacLog::report(const ErrorRecord &record)
+{
+    records_.push_back(record);
+}
+
+uint64_t
+EdacLog::correctedCount() const
+{
+    uint64_t total = 0;
+    for (const auto &r : records_)
+        if (r.kind == ErrorKind::Corrected)
+            total += r.count;
+    return total;
+}
+
+uint64_t
+EdacLog::uncorrectedCount() const
+{
+    uint64_t total = 0;
+    for (const auto &r : records_)
+        if (r.kind == ErrorKind::Uncorrected)
+            total += r.count;
+    return total;
+}
+
+uint64_t
+EdacLog::correctedAt(ErrorSite site) const
+{
+    uint64_t total = 0;
+    for (const auto &r : records_)
+        if (r.kind == ErrorKind::Corrected && r.site == site)
+            total += r.count;
+    return total;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * EDAC-style error reporting (the role of the Linux EDAC driver in
+ * the paper's framework, [12]). Hardware error events detected by
+ * the protection logic are logged with their kind, location and the
+ * core whose access exposed them; the characterization framework's
+ * parsing phase reads this log to classify runs as CE/UE.
+ */
+
+#ifndef VMARGIN_SIM_EDAC_HH
+#define VMARGIN_SIM_EDAC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** Error severity as EDAC reports it. */
+enum class ErrorKind
+{
+    Corrected,  ///< single-bit, fixed by SECDED or refetch
+    Uncorrected ///< detected but not correctable
+};
+
+/** Where the error was detected. */
+enum class ErrorSite
+{
+    L1Cache,
+    L2Cache,
+    L3Cache,
+    Dram
+};
+
+/** Printable site name ("L2Cache", ...). */
+std::string errorSiteName(ErrorSite site);
+
+/** Printable kind name ("CE" / "UE"). */
+std::string errorKindName(ErrorKind kind);
+
+/** One logged hardware error event. */
+struct ErrorRecord
+{
+    ErrorKind kind = ErrorKind::Corrected;
+    ErrorSite site = ErrorSite::L2Cache;
+    CoreId core = 0;     ///< core whose access exposed the error
+    uint32_t epoch = 0;  ///< when during the run it was detected
+    uint64_t count = 1;  ///< events coalesced into this record
+};
+
+/** In-memory EDAC log. */
+class EdacLog
+{
+  public:
+    /** Append a record. */
+    void report(const ErrorRecord &record);
+
+    /** All records since the last clear. */
+    const std::vector<ErrorRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Total corrected-error events logged. */
+    uint64_t correctedCount() const;
+
+    /** Total uncorrected-error events logged. */
+    uint64_t uncorrectedCount() const;
+
+    /** Corrected events detected at @p site. */
+    uint64_t correctedAt(ErrorSite site) const;
+
+    /** Drop all records. */
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<ErrorRecord> records_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_EDAC_HH

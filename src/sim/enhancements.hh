@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware design enhancements (paper section 6).
+ *
+ * The paper closes with three design recommendations for silicon
+ * that should operate undervolted. The simulator can apply them as
+ * what-if variants so their effect on the margins can be measured
+ * (the ablation_enhancements bench):
+ *
+ *  - Stronger error protection: DECTED-class ECC over more blocks
+ *    transforms would-be SDC behaviour into corrected-error
+ *    behaviour, recreating the Itanium-style CE-first ordering that
+ *    enables ECC-guided voltage speculation.
+ *  - Hardware detectors / adaptive clocking (the footnote-[38]
+ *    mechanism): timing-slack monitors stretch the clock under
+ *    droop, deferring the first timing failures to lower voltage.
+ *  - Finer-grained voltage domains: per-PMD supplies are a
+ *    topology change, handled by the trade-off explorer
+ *    (TradeoffExplorer::perPmdDomainPowerRel), not here.
+ */
+
+#ifndef VMARGIN_SIM_ENHANCEMENTS_HH
+#define VMARGIN_SIM_ENHANCEMENTS_HH
+
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** What-if design variants applied to the margin model. */
+struct DesignEnhancements
+{
+    /**
+     * Stronger ECC (section 6, "stronger error protection"):
+     * datapath errors that would silently corrupt results are
+     * instead detected and corrected until much deeper undervolt.
+     * Corrected errors then appear *above* the (reduced) SDC onset,
+     * like on the Itanium.
+     */
+    bool strongerEcc = false;
+
+    /** How much deeper the corrected-error coverage pushes the SDC
+     *  onset when strongerEcc is set. */
+    MilliVolt eccSdcReliefMv = 12;
+
+    /** How far above the new SDC onset corrected errors start
+     *  appearing (the ECC-as-proxy window). */
+    MilliVolt eccProxyWindowMv = 10;
+
+    /**
+     * Adaptive clocking (section 4.4 footnote / [38]): a clock
+     * stretcher hides timing emergencies, lowering the voltage at
+     * which timing-path failures (SDC/UE/AC) occur.
+     */
+    bool adaptiveClocking = false;
+
+    /** Timing relief provided by the clock stretcher. */
+    MilliVolt adaptiveClockingGainMv = 15;
+
+    /** True when any enhancement is active. */
+    bool
+    any() const
+    {
+        return strongerEcc || adaptiveClocking;
+    }
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_ENHANCEMENTS_HH

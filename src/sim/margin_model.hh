@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ground-truth voltage margins: at which supply voltage does each
+ * abnormal effect begin for a (core, workload, speed class) triple.
+ *
+ * This is the physical model substituted for real silicon. Its key
+ * property — taken from the paper's section 3.4 finding — is that on
+ * the X-Gene 2 *timing paths fail before SRAM cells*: the SDC onset
+ * is the highest onset for every ordinary workload, and ECC-visible
+ * corrected errors appear only at or below it, never alone above it.
+ *
+ * The pipeline-stress shift is an (approximately linear) function of
+ * quantities the PMU observes — dispatch-stall ratio, memory reads,
+ * branches, BTB misses, exceptions — which is what makes the paper's
+ * linear-regression prediction work at R2 ~ 0.9.
+ */
+
+#ifndef VMARGIN_SIM_MARGIN_MODEL_HH
+#define VMARGIN_SIM_MARGIN_MODEL_HH
+
+#include "clock.hh"
+#include "enhancements.hh"
+#include "param.hh"
+#include "process_variation.hh"
+#include "util/types.hh"
+#include "workloads/profile.hh"
+
+namespace vmargin::sim
+{
+
+/**
+ * Onset voltages for one (core, workload, speed class). An effect
+ * can occur in a run at voltage v with non-negligible probability
+ * only when v is at or below (onset + a couple of millivolts of
+ * run-to-run jitter); its rate grows exponentially below the onset.
+ */
+struct OnsetSet
+{
+    MilliVolt sdc = 0; ///< silent data corruption (timing paths)
+    MilliVolt ce = 0;  ///< ECC-corrected errors (cache access paths)
+    MilliVolt ue = 0;  ///< detected-uncorrectable errors
+    MilliVolt ac = 0;  ///< application crash (control corruption)
+    MilliVolt sc = 0;  ///< system crash
+
+    /** Highest onset: first voltage where anything can go wrong. */
+    MilliVolt highest() const;
+};
+
+/** Computes onsets from silicon figures and workload profiles. */
+class MarginModel
+{
+  public:
+    /**
+     * @param params platform parameters
+     * @param variation per-chip silicon map
+     * @param enhancements optional section-6 design variants
+     */
+    MarginModel(const XGene2Params &params,
+                const ProcessVariation &variation,
+                DesignEnhancements enhancements = {});
+
+    /** Ground-truth onsets for a workload on a core. */
+    OnsetSet onsets(CoreId core, const wl::WorkloadProfile &workload,
+                    SpeedClass speed_class) const;
+
+    /**
+     * Pipeline timing stress in [0, 1]. Deliberately dominated by
+     * observable execution characteristics: busy dispatch, compute
+     * density, read traffic, branch pressure, exception rate.
+     */
+    static double pipelineStress(const wl::WorkloadProfile &workload);
+
+    /**
+     * Width of the unsafe region (SDC onset minus system-crash
+     * onset) at full speed. Streaming FP workloads degrade
+     * gracefully (bwaves-style wide region); pointer-chasing and
+     * compute-dense codes collapse quickly.
+     */
+    static MilliVolt unsafeWidth(const wl::WorkloadProfile &workload);
+
+    /** Millivolts of SDC-onset shift per unit of pipeline stress. */
+    static constexpr MilliVolt kStressSpanMv = 70;
+
+    /** Active design variants. */
+    const DesignEnhancements &enhancements() const
+    {
+        return enhancements_;
+    }
+
+  private:
+    XGene2Params params_;
+    const ProcessVariation &variation_;
+    DesignEnhancements enhancements_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_MARGIN_MODEL_HH

@@ -1,0 +1,66 @@
+#include "param.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+using util::panicf;
+
+std::string
+cornerName(ChipCorner corner)
+{
+    switch (corner) {
+      case ChipCorner::TTT:
+        return "TTT";
+      case ChipCorner::TFF:
+        return "TFF";
+      case ChipCorner::TSS:
+        return "TSS";
+    }
+    panicf("cornerName: invalid corner ", static_cast<int>(corner));
+}
+
+ChipCorner
+cornerFromName(const std::string &name)
+{
+    if (name == "TTT")
+        return ChipCorner::TTT;
+    if (name == "TFF")
+        return ChipCorner::TFF;
+    if (name == "TSS")
+        return ChipCorner::TSS;
+    util::fatalError("unknown chip corner '" + name +
+                     "' (expected TTT, TFF or TSS)");
+}
+
+void
+XGene2Params::validate() const
+{
+    if (numCores != numPmds * coresPerPmd)
+        panicf("XGene2Params: ", numCores, " cores != ", numPmds,
+               " PMDs x ", coresPerPmd);
+    if (voltageStepSize <= 0)
+        panicf("XGene2Params: non-positive voltage step");
+    if (nominalPmdVoltage % voltageStepSize != 0 ||
+        nominalSocVoltage % voltageStepSize != 0)
+        panicf("XGene2Params: nominal voltages must be multiples of "
+               "the regulation step");
+    if (minFrequency <= 0 || maxFrequency < minFrequency)
+        panicf("XGene2Params: bad frequency range");
+    if ((maxFrequency - minFrequency) % frequencyStep != 0)
+        panicf("XGene2Params: frequency range not a multiple of the "
+               "frequency step");
+    if (issueWidth <= 0)
+        panicf("XGene2Params: bad issue width");
+    if (cacheLineBytes <= 0 || (cacheLineBytes & (cacheLineBytes - 1)))
+        panicf("XGene2Params: cache line size must be a power of two");
+    for (int kb : {l1iKb, l1dKb, l2Kb, l3Kb})
+        if (kb <= 0)
+            panicf("XGene2Params: non-positive cache size");
+    for (int assoc : {l1iAssoc, l1dAssoc, l2Assoc, l3Assoc})
+        if (assoc <= 0)
+            panicf("XGene2Params: non-positive associativity");
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Architectural parameters of the simulated APM X-Gene 2 micro-server
+ * (paper Table 2 and section 2.1) and the chip-corner taxonomy of
+ * section 3 (TTT nominal, TFF fast/leaky, TSS slow/low-leakage).
+ */
+
+#ifndef VMARGIN_SIM_PARAM_HH
+#define VMARGIN_SIM_PARAM_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** Process corner of a fabricated chip (section 3). */
+enum class ChipCorner
+{
+    TTT, ///< typical part
+    TFF, ///< fast corner: high leakage, lower Vmin
+    TSS  ///< slow corner: low leakage, higher Vmin
+};
+
+/** Printable corner name ("TTT", "TFF", "TSS"). */
+std::string cornerName(ChipCorner corner);
+
+/** Parse a corner name; fatal (user error) on anything else. */
+ChipCorner cornerFromName(const std::string &name);
+
+/** All three characterized corners, in paper order. */
+inline constexpr ChipCorner kAllCorners[] = {
+    ChipCorner::TTT, ChipCorner::TFF, ChipCorner::TSS};
+
+/**
+ * Fixed X-Gene 2 platform parameters (Table 2). A single struct so
+ * alternative platforms can be described by constructing a different
+ * instance; every subsystem takes the parameters by value.
+ */
+struct XGene2Params
+{
+    // -- topology -------------------------------------------------
+    int numCores = 8;
+    int numPmds = 4;
+    int coresPerPmd = 2;
+
+    // -- voltage domains (section 2.1) ----------------------------
+    MilliVolt nominalPmdVoltage = 980;  ///< all four PMDs share this
+    MilliVolt nominalSocVoltage = 950;  ///< PCP/SoC domain
+    MilliVolt voltageStepSize = 5;      ///< regulation granularity
+    MilliVolt minSettableVoltage = 500; ///< regulator floor
+
+    // -- clocking -------------------------------------------------
+    MegaHertz maxFrequency = 2400;
+    MegaHertz minFrequency = 300;
+    MegaHertz frequencyStep = 300;
+    /** At and below this frequency the PMD clock uses division and
+     *  timing behaves like the 1.2 GHz characterization class. */
+    MegaHertz clockDivisionThreshold = 1200;
+
+    // -- pipeline -------------------------------------------------
+    int issueWidth = 4; ///< 64-bit OoO, 4-issue
+
+    // -- memory hierarchy -----------------------------------------
+    int cacheLineBytes = 64;
+    int l1iKb = 32; ///< per core, parity protected
+    int l1iAssoc = 8;
+    int l1dKb = 32; ///< per core, parity protected
+    int l1dAssoc = 8;
+    int l2Kb = 256; ///< per PMD, SECDED ECC
+    int l2Assoc = 8;
+    int l3Kb = 8192; ///< shared, SECDED ECC
+    int l3Assoc = 16;
+
+    // -- physical -------------------------------------------------
+    double maxTdpWatts = 35.0;
+    int technologyNm = 28;
+
+    /** Derived: PMD owning core @p core. */
+    PmdId pmdOfCore(CoreId core) const { return core / coresPerPmd; }
+
+    /** Sanity-check invariants; panics when inconsistent. */
+    void validate() const;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_PARAM_HH

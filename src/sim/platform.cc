@@ -1,0 +1,64 @@
+#include "platform.hh"
+
+namespace vmargin::sim
+{
+
+Platform::Platform(const XGene2Params &params, ChipCorner corner,
+                   uint32_t serial, DesignEnhancements enhancements)
+    : chip_(std::make_unique<Chip>(params, corner, serial,
+                                   enhancements))
+{
+    powerCycle();
+}
+
+RunResult
+Platform::runWorkload(CoreId core,
+                      const wl::WorkloadProfile &workload,
+                      Seed run_seed, const ExecutionConfig &overrides)
+{
+    if (!responsive()) {
+        // Nothing executes on a hung or powered-off machine; report
+        // it as a system-level failure of this attempt.
+        RunResult dead;
+        dead.systemCrashed = true;
+        dead.voltage = chip_->pmdDomain().voltage();
+        dead.frequency =
+            chip_->pmd(chip_->params().pmdOfCore(core))
+                .clock()
+                .frequency();
+        return dead;
+    }
+
+    ExecutionConfig exec = overrides;
+    exec.temperature = thermal_.temperature();
+    RunResult result =
+        chip_->runOnCore(core, workload, run_seed, exec);
+
+    // Keep the package at the fan controller's setpoint for the
+    // duration of the run; a rough 20 W proxy load is fine because
+    // the controller holds the target anyway.
+    thermal_.step(result.simulatedSeconds, 20.0);
+
+    if (result.systemCrashed)
+        state_ = MachineState::Unresponsive;
+    return result;
+}
+
+void
+Platform::powerCycle()
+{
+    chip_->reset();
+    thermal_.reset();
+    // Boot settles the package at the fan target.
+    thermal_.step(30.0, 15.0);
+    state_ = MachineState::Running;
+    ++bootCount_;
+}
+
+void
+Platform::powerOff()
+{
+    state_ = MachineState::Off;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The X-Gene 2 micro-server as a bootable machine: the chip plus its
+ * thermal controller, a power/reset front panel and the notion of
+ * being responsive or hung. This is what the external watchdog and
+ * the characterization framework interact with.
+ */
+
+#ifndef VMARGIN_SIM_PLATFORM_HH
+#define VMARGIN_SIM_PLATFORM_HH
+
+#include <memory>
+
+#include "chip.hh"
+#include "thermal.hh"
+
+namespace vmargin::sim
+{
+
+/** Machine state as seen from outside. */
+enum class MachineState
+{
+    Off,         ///< power removed
+    Running,     ///< booted and answering on the serial console
+    Unresponsive ///< hung after a system crash; needs a power cycle
+};
+
+/** The micro-server. */
+class Platform
+{
+  public:
+    /**
+     * Build and boot a machine around one chip.
+     * @param params platform parameters
+     * @param corner chip corner
+     * @param serial chip serial number
+     */
+    Platform(const XGene2Params &params, ChipCorner corner,
+             uint32_t serial, DesignEnhancements enhancements = {});
+
+    Chip &chip() { return *chip_; }
+    const Chip &chip() const { return *chip_; }
+
+    ThermalModel &thermal() { return thermal_; }
+    const ThermalModel &thermal() const { return thermal_; }
+
+    MachineState state() const { return state_; }
+
+    /** True when the serial console answers. */
+    bool responsive() const
+    {
+        return state_ == MachineState::Running;
+    }
+
+    /** Number of boots since construction (>= 1). */
+    uint64_t bootCount() const { return bootCount_; }
+
+    /**
+     * Run a workload on a core at the chip's current settings.
+     * Returns a crashed RunResult immediately when the machine is
+     * not running (the caller forgot to power cycle). On a system
+     * crash the machine transitions to Unresponsive.
+     */
+    RunResult runWorkload(CoreId core,
+                          const wl::WorkloadProfile &workload,
+                          Seed run_seed,
+                          const ExecutionConfig &overrides = {});
+
+    /** Front panel: pull power, then boot fresh at nominal V/F. */
+    void powerCycle();
+
+    /** Front panel: reset button (same recovery effect here). */
+    void pressReset() { powerCycle(); }
+
+    /** Cut power without rebooting. */
+    void powerOff();
+
+  private:
+    std::unique_ptr<Chip> chip_;
+    ThermalModel thermal_;
+    MachineState state_ = MachineState::Off;
+    uint64_t bootCount_ = 0;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_PLATFORM_HH

@@ -1,0 +1,53 @@
+#include "pmd.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+Pmd::Pmd(PmdId id, const XGene2Params &params, CacheHierarchy *caches)
+    : id_(id), params_(params), clock_(params)
+{
+    if (id_ < 0 || id_ >= params_.numPmds)
+        util::panicf("Pmd: id ", id_, " out of range");
+    for (int i = 0; i < params_.coresPerPmd; ++i) {
+        const CoreId core_id = id_ * params_.coresPerPmd + i;
+        cores_.push_back(
+            std::make_unique<Core>(core_id, params_, caches));
+    }
+}
+
+Core &
+Pmd::localCore(int index)
+{
+    if (index < 0 || static_cast<size_t>(index) >= cores_.size())
+        util::panicf("Pmd ", id_, ": local core ", index,
+                     " out of range");
+    return *cores_[static_cast<size_t>(index)];
+}
+
+bool
+Pmd::owns(CoreId core) const
+{
+    return params_.pmdOfCore(core) == id_;
+}
+
+Core &
+Pmd::core(CoreId core)
+{
+    if (!owns(core))
+        util::panicf("Pmd ", id_, ": core ", core,
+                     " belongs to another PMD");
+    return localCore(core % params_.coresPerPmd);
+}
+
+std::vector<CoreId>
+Pmd::coreIds() const
+{
+    std::vector<CoreId> ids;
+    for (int i = 0; i < params_.coresPerPmd; ++i)
+        ids.push_back(id_ * params_.coresPerPmd + i);
+    return ids;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * PMD (Processor MoDule): a pair of cores with private L1s, a shared
+ * L2 and its own clock (paper section 2.1). All four PMDs share one
+ * voltage domain, but each PMD picks its own frequency — the
+ * asymmetry the paper's energy/performance trade-off exploits.
+ */
+
+#ifndef VMARGIN_SIM_PMD_HH
+#define VMARGIN_SIM_PMD_HH
+
+#include <memory>
+#include <vector>
+
+#include "clock.hh"
+#include "core.hh"
+#include "param.hh"
+
+namespace vmargin::sim
+{
+
+/** A two-core processor module. */
+class Pmd
+{
+  public:
+    /**
+     * @param id PMD number (0..3)
+     * @param params platform parameters
+     * @param caches chip cache hierarchy (not owned)
+     */
+    Pmd(PmdId id, const XGene2Params &params, CacheHierarchy *caches);
+
+    PmdId id() const { return id_; }
+
+    /** The PMD's clock (frequency + speed class). */
+    ClockController &clock() { return clock_; }
+    const ClockController &clock() const { return clock_; }
+
+    /** Core by local index (0 or 1). */
+    Core &localCore(int index);
+
+    /** Core by global core id; panics if it lives elsewhere. */
+    Core &core(CoreId core);
+
+    /** Global ids of the cores in this PMD. */
+    std::vector<CoreId> coreIds() const;
+
+    /** True when @p core belongs to this PMD. */
+    bool owns(CoreId core) const;
+
+  private:
+    PmdId id_;
+    XGene2Params params_;
+    ClockController clock_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_PMD_HH

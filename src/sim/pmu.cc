@@ -1,0 +1,73 @@
+#include "pmu.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+namespace
+{
+
+const std::vector<std::string> &
+nameTable()
+{
+    static const std::vector<std::string> names = {
+#define VMARGIN_PMU_NAME(name) #name,
+        VMARGIN_PMU_EVENTS(VMARGIN_PMU_NAME)
+#undef VMARGIN_PMU_NAME
+    };
+    return names;
+}
+
+} // namespace
+
+const std::string &
+pmuEventName(PmuEvent event)
+{
+    const auto index = static_cast<size_t>(event);
+    if (index >= kNumPmuEvents)
+        util::panicf("pmuEventName: invalid event ", index);
+    return nameTable()[index];
+}
+
+PmuEvent
+pmuEventByName(const std::string &name)
+{
+    const auto &names = nameTable();
+    for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return static_cast<PmuEvent>(i);
+    util::panicf("pmuEventByName: unknown event '", name, "'");
+}
+
+void
+Pmu::add(PmuEvent event, uint64_t count)
+{
+    const auto index = static_cast<size_t>(event);
+    if (index >= kNumPmuEvents)
+        util::panicf("Pmu::add: invalid event ", index);
+    counters_[index] += count;
+}
+
+uint64_t
+Pmu::value(PmuEvent event) const
+{
+    const auto index = static_cast<size_t>(event);
+    if (index >= kNumPmuEvents)
+        util::panicf("Pmu::value: invalid event ", index);
+    return counters_[index];
+}
+
+void
+Pmu::reset()
+{
+    counters_.fill(0);
+}
+
+std::vector<std::string>
+Pmu::eventNames()
+{
+    return nameTable();
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,119 @@
+#include "process_variation.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vmargin::sim
+{
+
+namespace
+{
+
+/**
+ * Corner-level calibration (DESIGN.md section 4). timingBase is the
+ * most robust core's zero-stress SDC onset at full speed; workload
+ * stress adds up to kStressSpanMv on top, which places the TTT
+ * robust-core Vmin in the paper's 860-885 mV band.
+ */
+struct CornerCal
+{
+    MilliVolt timingBase;
+    double leakage;
+};
+
+CornerCal
+cornerCal(ChipCorner corner)
+{
+    switch (corner) {
+      case ChipCorner::TTT:
+        return {833, 1.00};
+      case ChipCorner::TFF:
+        return {828, 1.60}; // fast: lower Vmin, high leakage
+      case ChipCorner::TSS:
+        return {843, 0.55}; // slow: higher Vmin, low leakage
+    }
+    util::panicf("cornerCal: invalid corner");
+}
+
+/**
+ * PMD robustness pattern of Figure 4: PMD 2 (cores 4, 5) is the most
+ * robust on every chip, PMD 0 (cores 0, 1) the most sensitive (up to
+ * ~3.6% of nominal, ~35 mV). Offsets in millivolts added to the
+ * corner timing base.
+ */
+constexpr MilliVolt kPmdOffsetMv[4] = {27, 14, 0, 8};
+
+} // namespace
+
+ProcessVariation::ProcessVariation(const XGene2Params &params,
+                                   ChipCorner corner, uint32_t serial)
+    : corner_(corner), serial_(serial)
+{
+    params.validate();
+    const CornerCal cal = cornerCal(corner);
+
+    util::Rng rng(util::mixSeed(
+        util::hashSeed("process-variation"),
+        (static_cast<uint64_t>(corner) << 32) | serial));
+
+    chipLeakage_ = cal.leakage * rng.uniform(0.95, 1.05);
+    // The divided clock has enormous timing slack; the eventual
+    // failure is logic retention, essentially uniform across cores,
+    // workloads and parts (the paper measured 760 mV on all three
+    // chips). 755 mV makes the first voltage step below the paper's
+    // 760 mV Vmin crash reliably while 760 stays safe.
+    halfSpeedCrash_ = 755;
+
+    cores_.resize(params.numCores);
+    for (CoreId c = 0; c < params.numCores; ++c) {
+        const PmdId pmd = params.pmdOfCore(c);
+        CoreSilicon &silicon = cores_[static_cast<size_t>(c)];
+        // Core-grain random variation on top of the PMD pattern;
+        // +/- a few millivolts, like the divergences in Figure 4.
+        const auto noise =
+            static_cast<MilliVolt>(rng.uniformInt(-3, 3));
+        silicon.timingBaseMv =
+            cal.timingBase + kPmdOffsetMv[pmd] + noise;
+        // SRAM arrays hold data far below the timing-failure region
+        // on this design (section 3.4's key finding).
+        silicon.sramHardMv =
+            silicon.timingBaseMv - 38 +
+            static_cast<MilliVolt>(rng.uniformInt(-3, 3));
+        silicon.leakageFactor =
+            chipLeakage_ * rng.uniform(0.96, 1.04);
+    }
+}
+
+const CoreSilicon &
+ProcessVariation::core(CoreId core) const
+{
+    if (core < 0 || static_cast<size_t>(core) >= cores_.size())
+        util::panicf("ProcessVariation: core ", core, " out of range");
+    return cores_[static_cast<size_t>(core)];
+}
+
+CoreId
+ProcessVariation::mostRobustCore() const
+{
+    CoreId best = 0;
+    for (CoreId c = 1; c < static_cast<CoreId>(cores_.size()); ++c)
+        if (cores_[static_cast<size_t>(c)].timingBaseMv <
+            cores_[static_cast<size_t>(best)].timingBaseMv)
+            best = c;
+    return best;
+}
+
+CoreId
+ProcessVariation::mostSensitiveCore() const
+{
+    CoreId worst = 0;
+    for (CoreId c = 1; c < static_cast<CoreId>(cores_.size()); ++c)
+        if (cores_[static_cast<size_t>(c)].timingBaseMv >
+            cores_[static_cast<size_t>(worst)].timingBaseMv)
+            worst = c;
+    return worst;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Static process variation: per-chip and per-core silicon parameters.
+ *
+ * Fabrication variation fixes, per core, the voltage at which its
+ * critical timing paths and SRAM arrays begin to fail, plus its
+ * leakage. The paper's three chips (TTT typical, TFF fast/leaky,
+ * TSS slow/low-leakage) and the robust-PMD2/sensitive-PMD0 pattern
+ * of Figure 4 are encoded here; a chip "serial number" seeds small
+ * deterministic per-core perturbations so different simulated chips
+ * of the same corner differ like real parts do.
+ *
+ * Calibration targets are documented in DESIGN.md section 4.
+ */
+
+#ifndef VMARGIN_SIM_PROCESS_VARIATION_HH
+#define VMARGIN_SIM_PROCESS_VARIATION_HH
+
+#include <vector>
+
+#include "param.hh"
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** Per-core silicon quality figures. */
+struct CoreSilicon
+{
+    /** SDC onset for a zero-stress workload at full speed; actual
+     *  workloads add their pipeline-stress shift on top. */
+    MilliVolt timingBaseMv = 0;
+
+    /** Voltage below which cache arrays lose stored data (the level
+     *  the section 3.4 cache self-tests crash at). */
+    MilliVolt sramHardMv = 0;
+
+    /** Relative leakage of this core (1.0 = typical). */
+    double leakageFactor = 1.0;
+};
+
+/** Immutable variation map for one fabricated chip. */
+class ProcessVariation
+{
+  public:
+    /**
+     * @param params platform parameters
+     * @param corner process corner of this part
+     * @param serial chip serial; seeds per-core perturbations
+     */
+    ProcessVariation(const XGene2Params &params, ChipCorner corner,
+                     uint32_t serial);
+
+    /** Silicon figures for core @p core. */
+    const CoreSilicon &core(CoreId core) const;
+
+    ChipCorner corner() const { return corner_; }
+    uint32_t serial() const { return serial_; }
+
+    /** Chip-wide leakage multiplier (TFF high, TSS low). */
+    double chipLeakageFactor() const { return chipLeakage_; }
+
+    /**
+     * Voltage at which PMD logic stops toggling reliably in the
+     * divided-clock (half) speed class; below it the system crashes
+     * regardless of workload. Uniform across cores — the paper saw
+     * 760 mV for every core and benchmark at 1.2 GHz.
+     */
+    MilliVolt halfSpeedCrashMv() const { return halfSpeedCrash_; }
+
+    /** Most robust core of the chip (lowest timing base). */
+    CoreId mostRobustCore() const;
+
+    /** Most sensitive core of the chip (highest timing base). */
+    CoreId mostSensitiveCore() const;
+
+  private:
+    ChipCorner corner_;
+    uint32_t serial_;
+    double chipLeakage_;
+    MilliVolt halfSpeedCrash_;
+    std::vector<CoreSilicon> cores_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_PROCESS_VARIATION_HH

@@ -1,0 +1,98 @@
+#include "slimpro.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+SlimPro::SlimPro(Platform *platform) : platform_(platform)
+{
+    if (!platform_)
+        util::panicf("SlimPro: null platform");
+}
+
+bool
+SlimPro::managementReady() const
+{
+    // The SLIMpro lives in the standby power domain and keeps
+    // running across core crashes, but the kernel-side I2C path we
+    // model is only usable while the machine is up.
+    return platform_->responsive();
+}
+
+bool
+SlimPro::setPmdVoltage(MilliVolt mv)
+{
+    if (!managementReady())
+        return false;
+    return platform_->chip().pmdDomain().set(mv);
+}
+
+bool
+SlimPro::setSocVoltage(MilliVolt mv)
+{
+    if (!managementReady())
+        return false;
+    return platform_->chip().socDomain().set(mv);
+}
+
+bool
+SlimPro::setPmdFrequency(PmdId pmd, MegaHertz mhz)
+{
+    if (!managementReady())
+        return false;
+    return platform_->chip().pmd(pmd).clock().set(mhz);
+}
+
+bool
+SlimPro::setAllFrequencies(MegaHertz mhz)
+{
+    bool ok = true;
+    for (PmdId p = 0; p < platform_->chip().params().numPmds; ++p)
+        ok = setPmdFrequency(p, mhz) && ok;
+    return ok;
+}
+
+MilliVolt
+SlimPro::pmdVoltage() const
+{
+    return platform_->chip().pmdDomain().voltage();
+}
+
+MilliVolt
+SlimPro::socVoltage() const
+{
+    return platform_->chip().socDomain().voltage();
+}
+
+MegaHertz
+SlimPro::pmdFrequency(PmdId pmd) const
+{
+    return platform_->chip().pmd(pmd).clock().frequency();
+}
+
+Celsius
+SlimPro::readTemperature() const
+{
+    return platform_->thermal().temperature();
+}
+
+void
+SlimPro::setFanTarget(Celsius target)
+{
+    platform_->thermal().setTarget(target);
+}
+
+const EdacLog &
+SlimPro::errorLog() const
+{
+    return platform_->chip().edac();
+}
+
+void
+SlimPro::clearErrorLog()
+{
+    platform_->chip().edac().clear();
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SLIMpro management interface.
+ *
+ * The X-Gene 2's Scalable Lightweight Intelligent Management
+ * processor regulates supply voltages, reads system sensors and
+ * exposes the error-reporting infrastructure over an I2C link the
+ * kernel can drive (paper section 2.1). The characterization
+ * framework performs all voltage/frequency manipulation through
+ * this interface, like the real framework does through the SLIMpro.
+ */
+
+#ifndef VMARGIN_SIM_SLIMPRO_HH
+#define VMARGIN_SIM_SLIMPRO_HH
+
+#include "platform.hh"
+
+namespace vmargin::sim
+{
+
+/** Management-plane access to a platform. */
+class SlimPro
+{
+  public:
+    /** @param platform machine to manage (not owned) */
+    explicit SlimPro(Platform *platform);
+
+    /**
+     * Set the shared PMD domain voltage. Returns false for illegal
+     * setpoints (off-grid, above nominal, below the regulator
+     * floor) and when the machine is unresponsive.
+     */
+    bool setPmdVoltage(MilliVolt mv);
+
+    /** Set the PCP/SoC domain voltage. Same failure rules. */
+    bool setSocVoltage(MilliVolt mv);
+
+    /** Set one PMD's frequency. Same failure rules. */
+    bool setPmdFrequency(PmdId pmd, MegaHertz mhz);
+
+    /** Set every PMD to @p mhz. */
+    bool setAllFrequencies(MegaHertz mhz);
+
+    /** Current PMD domain voltage. */
+    MilliVolt pmdVoltage() const;
+
+    /** Current PCP/SoC domain voltage. */
+    MilliVolt socVoltage() const;
+
+    /** Current frequency of @p pmd. */
+    MegaHertz pmdFrequency(PmdId pmd) const;
+
+    /** Package temperature sensor. */
+    Celsius readTemperature() const;
+
+    /** Ask the fan controller to hold @p target. */
+    void setFanTarget(Celsius target);
+
+    /** Error log access (the EDAC driver's data source). */
+    const EdacLog &errorLog() const;
+
+    /** Clear the error log (done between characterization runs). */
+    void clearErrorLog();
+
+  private:
+    bool managementReady() const;
+
+    Platform *platform_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_SLIMPRO_HH

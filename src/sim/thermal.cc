@@ -1,0 +1,43 @@
+#include "thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmargin::sim
+{
+
+ThermalModel::ThermalModel(Celsius ambient)
+    : ambient_(ambient), temperature_(ambient)
+{
+}
+
+void
+ThermalModel::setTarget(Celsius target)
+{
+    target_ = std::max(target, ambient_);
+}
+
+void
+ThermalModel::step(Second seconds, Watt package_power)
+{
+    if (seconds <= 0.0)
+        return;
+    // First-order approach to the setpoint with ~2 s time constant;
+    // the fan holds the target, leaving a small power-proportional
+    // residual (about +/- 0.05 C per watt of deviation from a 20 W
+    // reference load).
+    const double tau = 2.0;
+    const Celsius residual = 0.05 * (package_power - 20.0);
+    const Celsius goal = target_ + residual;
+    const double alpha = 1.0 - std::exp(-seconds / tau);
+    temperature_ += (goal - temperature_) * alpha;
+    temperature_ = std::max(temperature_, ambient_);
+}
+
+void
+ThermalModel::reset()
+{
+    temperature_ = ambient_;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thermal control.
+ *
+ * The paper stabilizes the package at 43 C by driving the CPU fan so
+ * every benchmark finishes at the same temperature (section 3.1) —
+ * isolating voltage effects from thermal drift. The model captures
+ * exactly that: a setpoint-following controller with first-order
+ * settling and a small load-dependent ripple.
+ */
+
+#ifndef VMARGIN_SIM_THERMAL_HH
+#define VMARGIN_SIM_THERMAL_HH
+
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** Fan-stabilized package thermal model. */
+class ThermalModel
+{
+  public:
+    /** @param ambient ambient temperature (idle floor) */
+    explicit ThermalModel(Celsius ambient = 26.0);
+
+    /** Target temperature the fan controller holds. */
+    void setTarget(Celsius target);
+    Celsius target() const { return target_; }
+
+    /**
+     * Advance the model by @p seconds at the given package power.
+     * The controller pulls the package toward the setpoint; power
+     * only produces a small residual ripple because the fan
+     * compensates.
+     */
+    void step(Second seconds, Watt package_power);
+
+    /** Current package temperature. */
+    Celsius temperature() const { return temperature_; }
+
+    /** Reset to ambient (cold boot). */
+    void reset();
+
+  private:
+    Celsius ambient_;
+    Celsius target_ = 43.0; ///< the paper's stabilization point
+    Celsius temperature_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_THERMAL_HH

@@ -1,0 +1,30 @@
+#include "watchdog.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+Watchdog::Watchdog(Platform *platform) : platform_(platform)
+{
+    if (!platform_)
+        util::panicf("Watchdog: null platform");
+}
+
+bool
+Watchdog::ensureResponsive(const std::string &context)
+{
+    if (platform_->responsive())
+        return false;
+
+    WatchdogEvent event;
+    event.sequence = events_.size() + 1;
+    event.reason = context;
+    event.pmdVoltage = platform_->chip().pmdDomain().voltage();
+    events_.push_back(event);
+
+    platform_->powerCycle();
+    return true;
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * External watchdog monitor.
+ *
+ * The paper wires a Raspberry Pi to the X-Gene 2's serial port and
+ * to its power/reset buttons so undervolting campaigns survive the
+ * inevitable system crashes without a human in the loop (Figure 2).
+ * This class plays that role for the simulated platform: it polls
+ * responsiveness over the "serial console", power-cycles a hung
+ * machine, and keeps an intervention log the framework can report.
+ */
+
+#ifndef VMARGIN_SIM_WATCHDOG_HH
+#define VMARGIN_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform.hh"
+
+namespace vmargin::sim
+{
+
+/** One watchdog intervention. */
+struct WatchdogEvent
+{
+    uint64_t sequence = 0;    ///< monotonically increasing id
+    std::string reason;       ///< what triggered the intervention
+    MilliVolt pmdVoltage = 0; ///< domain voltage at the time
+};
+
+/** Raspberry-Pi-style external monitor. */
+class Watchdog
+{
+  public:
+    /** @param platform machine under supervision (not owned) */
+    explicit Watchdog(Platform *platform);
+
+    /**
+     * Poll the serial console; if the machine is hung (or off),
+     * press the power switch and log the intervention. Returns true
+     * when an intervention was necessary.
+     */
+    bool ensureResponsive(const std::string &context);
+
+    /** Interventions since construction. */
+    const std::vector<WatchdogEvent> &events() const
+    {
+        return events_;
+    }
+
+    /** Number of power cycles the watchdog performed. */
+    uint64_t interventions() const { return events_.size(); }
+
+  private:
+    Platform *platform_;
+    std::vector<WatchdogEvent> events_;
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_WATCHDOG_HH

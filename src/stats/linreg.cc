@@ -1,0 +1,75 @@
+#include "linreg.hh"
+
+#include "metrics.hh"
+#include "util/logging.hh"
+
+namespace vmargin::stats
+{
+
+using util::panicf;
+
+void
+LinearRegression::fit(const Matrix &x, const Vector &y)
+{
+    if (x.rows() == 0)
+        panicf("LinearRegression::fit: no samples");
+    if (x.rows() != y.size())
+        panicf("LinearRegression::fit: ", x.rows(), " samples vs ",
+               y.size(), " targets");
+    if (x.rows() < x.cols() + 1)
+        panicf("LinearRegression::fit: ", x.rows(),
+               " samples cannot determine ", x.cols() + 1,
+               " parameters");
+
+    const Matrix design = x.withInterceptColumn();
+    const Vector beta = leastSquares(design, y);
+
+    intercept_ = beta[0];
+    coefficients_.assign(beta.begin() + 1, beta.end());
+    trained_ = true;
+}
+
+double
+LinearRegression::predictOne(const Vector &sample) const
+{
+    if (!trained_)
+        panicf("LinearRegression: predict before fit");
+    if (sample.size() != coefficients_.size())
+        panicf("LinearRegression: sample has ", sample.size(),
+               " features, model has ", coefficients_.size());
+    return intercept_ + dot(sample, coefficients_);
+}
+
+Vector
+LinearRegression::predict(const Matrix &x) const
+{
+    Vector out(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r)
+        out[r] = predictOne(x.row(r));
+    return out;
+}
+
+double
+LinearRegression::score(const Matrix &x, const Vector &y) const
+{
+    return r2Score(y, predict(x));
+}
+
+void
+MeanPredictor::fit(const Vector &y)
+{
+    if (y.empty())
+        panicf("MeanPredictor::fit: no samples");
+    mean_ = mean(y);
+    trained_ = true;
+}
+
+Vector
+MeanPredictor::predict(size_t n) const
+{
+    if (!trained_)
+        panicf("MeanPredictor: predict before fit");
+    return Vector(n, mean_);
+}
+
+} // namespace vmargin::stats

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ordinary-least-squares linear regression (paper section 4).
+ *
+ * y_i = b0 + b1 x_1i + ... + bk x_ki + e_i, fit by minimizing the
+ * residual sum of squares via Householder QR. Mirrors the parts of
+ * sklearn.linear_model.LinearRegression the paper uses.
+ */
+
+#ifndef VMARGIN_STATS_LINREG_HH
+#define VMARGIN_STATS_LINREG_HH
+
+#include "matrix.hh"
+
+namespace vmargin::stats
+{
+
+/** OLS regressor with intercept. */
+class LinearRegression
+{
+  public:
+    /**
+     * Fit on @p x (samples x features) against @p y. Panics on empty
+     * input or a sample/target size mismatch.
+     */
+    void fit(const Matrix &x, const Vector &y);
+
+    /** Predict one sample (size = feature count at fit time). */
+    double predictOne(const Vector &sample) const;
+
+    /** Predict every row of @p x. */
+    Vector predict(const Matrix &x) const;
+
+    /** Fitted intercept b0. */
+    double intercept() const { return intercept_; }
+
+    /** Fitted slope coefficients b1..bk. */
+    const Vector &coefficients() const { return coefficients_; }
+
+    /** True once fit() has run. */
+    bool trained() const { return trained_; }
+
+    /** R2 of the model on the given data. */
+    double score(const Matrix &x, const Vector &y) const;
+
+  private:
+    double intercept_ = 0.0;
+    Vector coefficients_;
+    bool trained_ = false;
+};
+
+/**
+ * The paper's naive baseline: predict the mean of the training
+ * targets regardless of features.
+ */
+class MeanPredictor
+{
+  public:
+    /** Fit: remember the mean of @p y. */
+    void fit(const Vector &y);
+
+    /** Constant prediction. */
+    double predictOne() const { return mean_; }
+
+    /** Constant prediction replicated @p n times. */
+    Vector predict(size_t n) const;
+
+    bool trained() const { return trained_; }
+
+  private:
+    double mean_ = 0.0;
+    bool trained_ = false;
+};
+
+} // namespace vmargin::stats
+
+#endif // VMARGIN_STATS_LINREG_HH

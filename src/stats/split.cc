@@ -1,0 +1,111 @@
+#include "split.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace vmargin::stats
+{
+
+using util::panicf;
+
+namespace
+{
+
+/** Fisher-Yates shuffle driven by our deterministic Rng. */
+std::vector<size_t>
+shuffledIndices(size_t n, Seed seed)
+{
+    std::vector<size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), size_t{0});
+    util::Rng rng(seed);
+    for (size_t i = n; i > 1; --i) {
+        const auto j = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(i) - 1));
+        std::swap(indices[i - 1], indices[j]);
+    }
+    return indices;
+}
+
+Split
+buildSplit(const Matrix &x, const Vector &y,
+           const std::vector<size_t> &train_idx,
+           const std::vector<size_t> &test_idx)
+{
+    Split split;
+    split.trainIndices = train_idx;
+    split.testIndices = test_idx;
+    split.trainX = Matrix(train_idx.size(), x.cols());
+    split.testX = Matrix(test_idx.size(), x.cols());
+    split.trainY.resize(train_idx.size());
+    split.testY.resize(test_idx.size());
+    for (size_t i = 0; i < train_idx.size(); ++i) {
+        split.trainX.setRow(i, x.row(train_idx[i]));
+        split.trainY[i] = y[train_idx[i]];
+    }
+    for (size_t i = 0; i < test_idx.size(); ++i) {
+        split.testX.setRow(i, x.row(test_idx[i]));
+        split.testY[i] = y[test_idx[i]];
+    }
+    return split;
+}
+
+} // namespace
+
+Split
+trainTestSplit(const Matrix &x, const Vector &y, double test_fraction,
+               Seed seed)
+{
+    const size_t n = x.rows();
+    if (n != y.size())
+        panicf("trainTestSplit: ", n, " samples vs ", y.size(),
+               " targets");
+    if (n < 2)
+        panicf("trainTestSplit: need at least 2 samples, got ", n);
+    if (!(test_fraction > 0.0 && test_fraction < 1.0))
+        panicf("trainTestSplit: test fraction ", test_fraction,
+               " outside (0, 1)");
+
+    auto test_count = static_cast<size_t>(
+        static_cast<double>(n) * test_fraction + 0.5);
+    test_count = std::clamp<size_t>(test_count, 1, n - 1);
+
+    const auto indices = shuffledIndices(n, seed);
+    std::vector<size_t> test_idx(indices.begin(),
+                                 indices.begin() +
+                                     static_cast<long>(test_count));
+    std::vector<size_t> train_idx(
+        indices.begin() + static_cast<long>(test_count), indices.end());
+    return buildSplit(x, y, train_idx, test_idx);
+}
+
+std::vector<Split>
+kFoldSplit(const Matrix &x, const Vector &y, size_t folds,
+           Seed seed)
+{
+    const size_t n = x.rows();
+    if (n != y.size())
+        panicf("kFoldSplit: ", n, " samples vs ", y.size(),
+               " targets");
+    if (folds < 2 || folds > n)
+        panicf("kFoldSplit: ", folds, " folds for ", n, " samples");
+
+    const auto indices = shuffledIndices(n, seed);
+    std::vector<Split> splits;
+    splits.reserve(folds);
+    for (size_t f = 0; f < folds; ++f) {
+        std::vector<size_t> test_idx;
+        std::vector<size_t> train_idx;
+        for (size_t i = 0; i < n; ++i) {
+            if (i % folds == f)
+                test_idx.push_back(indices[i]);
+            else
+                train_idx.push_back(indices[i]);
+        }
+        splits.push_back(buildSplit(x, y, train_idx, test_idx));
+    }
+    return splits;
+}
+
+} // namespace vmargin::stats

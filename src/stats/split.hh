@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dataset splitting: the paper's 80/20 train/test split plus k-fold
+ * cross validation used by the extended evaluation.
+ */
+
+#ifndef VMARGIN_STATS_SPLIT_HH
+#define VMARGIN_STATS_SPLIT_HH
+
+#include <vector>
+
+#include "matrix.hh"
+#include "util/rng.hh"
+
+namespace vmargin::stats
+{
+
+/** One train/test partition of a dataset. */
+struct Split
+{
+    Matrix trainX;
+    Vector trainY;
+    Matrix testX;
+    Vector testY;
+    std::vector<size_t> trainIndices;
+    std::vector<size_t> testIndices;
+};
+
+/**
+ * Shuffle-and-slice split. @p test_fraction in (0, 1); at least one
+ * sample lands on each side. Deterministic for a given seed.
+ */
+Split trainTestSplit(const Matrix &x, const Vector &y,
+                     double test_fraction, Seed seed);
+
+/**
+ * k-fold partition: returns @p folds splits whose test sets are
+ * disjoint and cover the dataset. Deterministic for a given seed.
+ */
+std::vector<Split> kFoldSplit(const Matrix &x, const Vector &y,
+                              size_t folds, Seed seed);
+
+} // namespace vmargin::stats
+
+#endif // VMARGIN_STATS_SPLIT_HH

@@ -1,0 +1,117 @@
+#include "accum.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace vmargin::util
+{
+
+void
+Accumulator::add(double value)
+{
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Accumulator::sampleVariance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram: bins must be > 0");
+    if (!(lo < hi))
+        panicf("Histogram: invalid range [", lo, ", ", hi, ")");
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double fraction = (value - lo_) / (hi_ - lo_);
+    auto index = static_cast<size_t>(
+        fraction * static_cast<double>(counts_.size()));
+    index = std::min(index, counts_.size() - 1);
+    ++counts_[index];
+}
+
+size_t
+Histogram::binCount(size_t index) const
+{
+    if (index >= counts_.size())
+        panicf("Histogram: bin ", index, " out of range");
+    return counts_[index];
+}
+
+double
+Histogram::binLow(size_t index) const
+{
+    if (index >= counts_.size())
+        panicf("Histogram: bin ", index, " out of range");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(index);
+}
+
+} // namespace vmargin::util

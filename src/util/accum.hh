@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ *
+ * Accumulator keeps running mean/variance via Welford's algorithm so
+ * long campaigns do not lose precision; Histogram bins values for the
+ * severity and Vmin distributions reported by the benches.
+ */
+
+#ifndef VMARGIN_UTIL_ACCUM_HH
+#define VMARGIN_UTIL_ACCUM_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace vmargin::util
+{
+
+/** Online mean / variance / extrema accumulator (Welford). */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double value);
+
+    /** Number of samples folded so far. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample (n-1) variance; 0 with fewer than 2 samples. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean() * static_cast<double>(count_); }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const Accumulator &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range, uniform-width histogram. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range
+     * @param hi exclusive upper bound of the binned range
+     * @param bins number of uniform bins (> 0)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Count a sample; out-of-range samples go to under/overflow. */
+    void add(double value);
+
+    /** Count in bin @p index. */
+    size_t binCount(size_t index) const;
+
+    /** Inclusive lower edge of bin @p index. */
+    double binLow(size_t index) const;
+
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Samples below the histogram range. */
+    size_t underflow() const { return underflow_; }
+
+    /** Samples at or above the histogram range. */
+    size_t overflow() const { return overflow_; }
+
+    /** Total samples including under/overflow. */
+    size_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t underflow_ = 0;
+    size_t overflow_ = 0;
+    size_t total_ = 0;
+};
+
+} // namespace vmargin::util
+
+#endif // VMARGIN_UTIL_ACCUM_HH

@@ -1,0 +1,142 @@
+#include "cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "logging.hh"
+#include "strings.hh"
+
+namespace vmargin::util
+{
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+}
+
+void
+CliParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    if (options_.count(name))
+        panicf("CliParser: duplicate option --", name);
+    options_[name] = Option{help, def, false, false};
+    order_.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string &name, const std::string &help)
+{
+    if (options_.count(name))
+        panicf("CliParser: duplicate option --", name);
+    options_[name] = Option{help, "", true, false};
+    order_.push_back(name);
+}
+
+bool
+CliParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(std::cout);
+            return false;
+        }
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+            std::cerr << program_ << ": unknown option --" << name
+                      << " (try --help)\n";
+            return false;
+        }
+        Option &opt = it->second;
+        opt.seen = true;
+        if (opt.isFlag) {
+            if (has_inline) {
+                std::cerr << program_ << ": flag --" << name
+                          << " takes no value\n";
+                return false;
+            }
+            opt.value = "1";
+        } else if (has_inline) {
+            opt.value = inline_value;
+        } else {
+            if (i + 1 >= argc) {
+                std::cerr << program_ << ": option --" << name
+                          << " requires a value\n";
+                return false;
+            }
+            opt.value = argv[++i];
+        }
+    }
+    return true;
+}
+
+const std::string &
+CliParser::value(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panicf("CliParser: option --", name, " was never registered");
+    return it->second.value;
+}
+
+long
+CliParser::intValue(const std::string &name) const
+{
+    const std::string &text = value(name);
+    if (!isInteger(text))
+        fatalError(concat("option --", name, ": '", text,
+                          "' is not an integer"));
+    return std::strtol(text.c_str(), nullptr, 10);
+}
+
+double
+CliParser::doubleValue(const std::string &name) const
+{
+    const std::string &text = value(name);
+    if (!isNumber(text))
+        fatalError(concat("option --", name, ": '", text,
+                          "' is not a number"));
+    return std::strtod(text.c_str(), nullptr);
+}
+
+bool
+CliParser::flag(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panicf("CliParser: flag --", name, " was never registered");
+    return it->second.seen && it->second.isFlag;
+}
+
+void
+CliParser::printHelp(std::ostream &out) const
+{
+    out << program_ << " - " << summary_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        std::string left = "  --" + name;
+        if (!opt.isFlag)
+            left += " <value>";
+        out << padRight(left, 28) << opt.help;
+        if (!opt.isFlag && !opt.value.empty())
+            out << " (default: " << opt.value << ")";
+        out << '\n';
+    }
+    out << padRight("  --help", 28) << "show this message\n";
+}
+
+} // namespace vmargin::util

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Declarative command-line option parsing for the examples and
+ * bench harnesses.
+ *
+ * Usage:
+ *   CliParser cli("quickstart", "Characterize one benchmark");
+ *   cli.addOption("chip", "TTT", "chip corner: TTT, TFF or TSS");
+ *   cli.addFlag("verbose", "enable chatty logging");
+ *   if (!cli.parse(argc, argv)) return 1;  // prints error or --help
+ *   std::string chip = cli.value("chip");
+ */
+
+#ifndef VMARGIN_UTIL_CLI_HH
+#define VMARGIN_UTIL_CLI_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmargin::util
+{
+
+/** GNU-style "--name value" / "--name=value" / "--flag" parser. */
+class CliParser
+{
+  public:
+    /** @param program program name for usage output
+     *  @param summary one-line description */
+    CliParser(std::string program, std::string summary);
+
+    /** Register a value option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing a message) on error
+     * or when --help was requested.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Value of option @p name (default if unset); panics if unknown. */
+    const std::string &value(const std::string &name) const;
+
+    /** Value of @p name parsed as integer; fatal on parse failure. */
+    long intValue(const std::string &name) const;
+
+    /** Value of @p name parsed as double; fatal on parse failure. */
+    double doubleValue(const std::string &name) const;
+
+    /** True if flag @p name was given. */
+    bool flag(const std::string &name) const;
+
+    /** Positional arguments left over after option parsing. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Write the usage/help text. */
+    void printHelp(std::ostream &out) const;
+
+  private:
+    struct Option
+    {
+        std::string help;
+        std::string value;
+        bool isFlag = false;
+        bool seen = false;
+    };
+
+    std::string program_;
+    std::string summary_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace vmargin::util
+
+#endif // VMARGIN_UTIL_CLI_HH

@@ -1,0 +1,119 @@
+#include "config.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "logging.hh"
+#include "strings.hh"
+
+namespace vmargin::util
+{
+
+ConfigFile
+ConfigFile::fromText(const std::string &text)
+{
+    ConfigFile config;
+    size_t line_number = 0;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        const auto eq = stripped.find('=');
+        if (eq == std::string::npos)
+            fatalError(concat("config line ", line_number,
+                              ": expected key = value, got '",
+                              stripped, "'"));
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+        if (key.empty())
+            fatalError(concat("config line ", line_number,
+                              ": empty key"));
+        if (!config.values_.count(key))
+            config.order_.push_back(key);
+        config.values_[key] = value;
+    }
+    return config;
+}
+
+ConfigFile
+ConfigFile::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatalError("cannot read config file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return fromText(text.str());
+}
+
+bool
+ConfigFile::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+ConfigFile::get(const std::string &key,
+                const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long
+ConfigFile::getInt(const std::string &key, long fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string &text = values_.at(key);
+    if (!isInteger(text))
+        fatalError(concat("config key '", key, "': '", text,
+                          "' is not an integer"));
+    return std::strtol(text.c_str(), nullptr, 10);
+}
+
+double
+ConfigFile::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string &text = values_.at(key);
+    if (!isNumber(text))
+        fatalError(concat("config key '", key, "': '", text,
+                          "' is not a number"));
+    return std::strtod(text.c_str(), nullptr);
+}
+
+bool
+ConfigFile::getBool(const std::string &key, bool fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string value = toLower(values_.at(key));
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    fatalError(concat("config key '", key, "': '", value,
+                      "' is not a boolean"));
+}
+
+std::vector<std::string>
+ConfigFile::getList(const std::string &key) const
+{
+    std::vector<std::string> out;
+    if (!has(key))
+        return out;
+    for (const auto &token : split(values_.at(key), ',')) {
+        const std::string element = trim(token);
+        if (!element.empty())
+            out.push_back(element);
+    }
+    return out;
+}
+
+} // namespace vmargin::util

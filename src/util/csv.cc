@@ -1,0 +1,164 @@
+#include "csv.hh"
+
+#include "logging.hh"
+
+namespace vmargin::util
+{
+
+int
+CsvDocument::columnIndex(const std::string &column) const
+{
+    for (size_t i = 0; i < header.size(); ++i)
+        if (header[i] == column)
+            return static_cast<int>(i);
+    return -1;
+}
+
+const std::string &
+CsvDocument::at(size_t row, const std::string &column) const
+{
+    const int col = columnIndex(column);
+    if (col < 0)
+        panicf("CsvDocument: no column named '", column, "'");
+    if (row >= rows.size())
+        panicf("CsvDocument: row ", row, " out of range (",
+               rows.size(), " rows)");
+    const auto &fields = rows[row];
+    if (static_cast<size_t>(col) >= fields.size())
+        panicf("CsvDocument: row ", row, " has no field for column '",
+               column, "'");
+    return fields[static_cast<size_t>(col)];
+}
+
+CsvWriter::CsvWriter(std::ostream &out, char sep) : out_(out), sep_(sep)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &field, char sep)
+{
+    const bool needs_quotes =
+        field.find(sep) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos ||
+        field.find('\r') != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += "\"\"";
+        else
+            quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeHeader(const std::vector<std::string> &columns)
+{
+    writeRow(columns);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << sep_;
+        out_ << escape(fields[i], sep_);
+    }
+    out_ << '\n';
+    ++rowsWritten_;
+}
+
+namespace
+{
+
+/**
+ * Incremental CSV scanner shared by parseCsv and parseCsvLine.
+ * Consumes @p text and invokes emitField/emitRow through the two
+ * output vectors.
+ */
+void
+scanCsv(const std::string &text, char sep,
+        std::vector<std::vector<std::string>> &out_rows)
+{
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool row_has_content = false;
+
+    auto end_field = [&]() {
+        row.push_back(field);
+        field.clear();
+    };
+    auto end_row = [&]() {
+        end_field();
+        out_rows.push_back(row);
+        row.clear();
+        row_has_content = false;
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            row_has_content = true;
+        } else if (c == '"') {
+            in_quotes = true;
+            row_has_content = true;
+        } else if (c == sep) {
+            end_field();
+            row_has_content = true;
+        } else if (c == '\r') {
+            // swallow; \r\n handled by the \n branch
+        } else if (c == '\n') {
+            if (row_has_content || !field.empty() || !row.empty())
+                end_row();
+        } else {
+            field += c;
+            row_has_content = true;
+        }
+    }
+    if (row_has_content || !field.empty() || !row.empty())
+        end_row();
+}
+
+} // namespace
+
+CsvDocument
+parseCsv(const std::string &text, char sep)
+{
+    std::vector<std::vector<std::string>> all_rows;
+    scanCsv(text, sep, all_rows);
+
+    CsvDocument doc;
+    if (all_rows.empty())
+        return doc;
+    doc.header = all_rows.front();
+    doc.rows.assign(all_rows.begin() + 1, all_rows.end());
+    return doc;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line, char sep)
+{
+    std::vector<std::vector<std::string>> all_rows;
+    scanCsv(line, sep, all_rows);
+    if (all_rows.empty())
+        return {};
+    return all_rows.front();
+}
+
+} // namespace vmargin::util

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CSV emission and parsing.
+ *
+ * The characterization framework's parsing phase reports every
+ * classified run into CSV files (paper section 2.2); the prediction
+ * pipeline reads them back. Quoting follows RFC 4180: fields
+ * containing separator, quote or newline are quoted and embedded
+ * quotes are doubled.
+ */
+
+#ifndef VMARGIN_UTIL_CSV_HH
+#define VMARGIN_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmargin::util
+{
+
+/** A parsed CSV document: a header row plus data rows. */
+struct CsvDocument
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of @p column in the header, or -1. */
+    int columnIndex(const std::string &column) const;
+
+    /** Value of @p column in data row @p row; panics on bad access. */
+    const std::string &at(size_t row, const std::string &column) const;
+};
+
+/**
+ * Streaming CSV writer. Owns nothing; writes to a caller-supplied
+ * stream so it can target files, string streams or stdout alike.
+ */
+class CsvWriter
+{
+  public:
+    /** @param out destination stream @param sep field separator */
+    explicit CsvWriter(std::ostream &out, char sep = ',');
+
+    /** Write the header row (only sensible as the first row). */
+    void writeHeader(const std::vector<std::string> &columns);
+
+    /** Write one data row. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Number of rows written so far (header included). */
+    size_t rowsWritten() const { return rowsWritten_; }
+
+    /** Quote a single field according to RFC 4180. */
+    static std::string escape(const std::string &field, char sep = ',');
+
+  private:
+    std::ostream &out_;
+    char sep_;
+    size_t rowsWritten_ = 0;
+};
+
+/**
+ * Parse CSV text into a document. The first row becomes the header.
+ * Handles quoted fields, doubled quotes and embedded newlines.
+ */
+CsvDocument parseCsv(const std::string &text, char sep = ',');
+
+/** Parse a single CSV line (no embedded newlines). */
+std::vector<std::string> parseCsvLine(const std::string &line,
+                                      char sep = ',');
+
+} // namespace vmargin::util
+
+#endif // VMARGIN_UTIL_CSV_HH

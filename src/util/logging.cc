@@ -1,0 +1,54 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace vmargin::util
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalError(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Info)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace vmargin::util

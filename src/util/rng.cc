@@ -1,0 +1,197 @@
+#include "rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace vmargin::util
+{
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Seed
+mixSeed(Seed base, uint64_t salt)
+{
+    // Feed both words through SplitMix64 so that nearby experiment
+    // coordinates (voltage steps 5 mV apart, adjacent cores) produce
+    // uncorrelated streams.
+    uint64_t state = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+    uint64_t mixed = splitMix64(state);
+    state ^= salt + 0x632be59bd9b4e019ULL;
+    return mixed ^ splitMix64(state);
+}
+
+Seed
+hashSeed(const std::string &text)
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    return mixSeed(h, text.size());
+}
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(Seed seed)
+{
+    uint64_t state = seed;
+    for (auto &word : s_)
+        word = splitMix64(state);
+    // xoshiro must not start from the all-zero state.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panicf("uniformInt: empty range [", lo, ", ", hi, "]");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = (~0ULL / span) * span;
+    uint64_t value = next();
+    while (value >= limit)
+        value = next();
+    return lo + static_cast<int64_t>(value % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGauss_) {
+        hasCachedGauss_ = false;
+        return cachedGauss_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedGauss_ = radius * std::sin(angle);
+    hasCachedGauss_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    return uniform() < clamped;
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 64.0) {
+        // Knuth: multiply uniforms until below exp(-mean).
+        const double threshold = std::exp(-mean);
+        uint64_t count = 0;
+        double product = uniform();
+        while (product > threshold) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction.
+    const double sample = gaussian(mean, std::sqrt(mean));
+    return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample + 0.5);
+}
+
+uint64_t
+Rng::binomial(uint64_t n, double p)
+{
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    if (n == 0 || clamped == 0.0)
+        return 0;
+    if (clamped == 1.0)
+        return n;
+    const double np = static_cast<double>(n) * clamped;
+    if (n <= 128) {
+        uint64_t successes = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            successes += bernoulli(clamped) ? 1 : 0;
+        return successes;
+    }
+    if (np < 32.0)
+        return std::min<uint64_t>(n, poisson(np));
+    // Normal approximation.
+    const double var = np * (1.0 - clamped);
+    const double sample = gaussian(np, std::sqrt(var));
+    if (sample <= 0.0)
+        return 0;
+    return std::min<uint64_t>(n, static_cast<uint64_t>(sample + 0.5));
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        panicf("exponential: rate must be positive, got ", rate);
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -std::log(u) / rate;
+}
+
+} // namespace vmargin::util

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element of the simulated platform draws from an Rng
+ * seeded by hashing a tuple of experiment coordinates (chip serial,
+ * core, workload, voltage, run index, ...). This makes each
+ * characterization run exactly reproducible and independent of
+ * execution order, which the campaign layer relies on when it re-runs
+ * configurations after a simulated system crash.
+ *
+ * The generator is xoshiro256**, seeded through SplitMix64 as its
+ * authors recommend.
+ */
+
+#ifndef VMARGIN_UTIL_RNG_HH
+#define VMARGIN_UTIL_RNG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "types.hh"
+
+namespace vmargin::util
+{
+
+/** One SplitMix64 step; also used as the seed/stream mixer. */
+uint64_t splitMix64(uint64_t &state);
+
+/**
+ * Combine seed material into a single 64-bit stream identifier.
+ * Order-sensitive: mixSeed(a, b) != mixSeed(b, a) in general.
+ */
+Seed mixSeed(Seed base, uint64_t salt);
+
+/** Hash a string into seed material (FNV-1a, then mixed). */
+Seed hashSeed(const std::string &text);
+
+/**
+ * xoshiro256** pseudo random generator with distribution helpers.
+ *
+ * Satisfies the bare minimum of UniformRandomBitGenerator but we use
+ * our own distribution code so results are identical across standard
+ * library implementations.
+ */
+class Rng
+{
+  public:
+    /** Construct from a single seed, expanded via SplitMix64. */
+    explicit Rng(Seed seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Poisson deviate with the given mean. Uses Knuth's method for
+     * small means and a normal approximation above 64 (adequate for
+     * event-count sampling).
+     */
+    uint64_t poisson(double mean);
+
+    /**
+     * Binomial deviate: number of successes in n trials of
+     * probability p. Exact sampling for small n, Poisson/normal
+     * approximations for large n with small/large n*p.
+     */
+    uint64_t binomial(uint64_t n, double p);
+
+    /** Exponential deviate with the given rate (lambda > 0). */
+    double exponential(double rate);
+
+    // UniformRandomBitGenerator interface
+    using result_type = uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next(); }
+
+  private:
+    uint64_t s_[4];
+    double cachedGauss_ = 0.0;
+    bool hasCachedGauss_ = false;
+};
+
+} // namespace vmargin::util
+
+#endif // VMARGIN_UTIL_RNG_HH

@@ -1,0 +1,126 @@
+#include "strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace vmargin::util
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string result;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            result += sep;
+        result += parts[i];
+    }
+    return result;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string result = text;
+    std::transform(result.begin(), result.end(), result.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return result;
+}
+
+bool
+isInteger(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    std::strtoll(begin, &end, 10);
+    return end == begin + text.size();
+}
+
+bool
+isNumber(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    std::strtod(begin, &end);
+    return end == begin + text.size();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string
+padRight(const std::string &text, size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+std::string
+padLeft(const std::string &text, size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+} // namespace vmargin::util

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental value types shared by every vmargin library.
+ *
+ * Voltages are carried in integral millivolts and frequencies in
+ * integral megahertz throughout the code base. The platform regulates
+ * voltage in discrete 5 mV steps, so an integral representation avoids
+ * floating-point drift when sweeping voltage levels and makes values
+ * directly usable as map keys.
+ */
+
+#ifndef VMARGIN_UTIL_TYPES_HH
+#define VMARGIN_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace vmargin
+{
+
+/** Supply voltage in millivolts (e.g. 980 for the nominal 0.98 V). */
+using MilliVolt = int32_t;
+
+/** Clock frequency in megahertz (e.g. 2400 for 2.4 GHz). */
+using MegaHertz = int32_t;
+
+/** Identifier of a core within a chip (0..7 on the X-Gene 2). */
+using CoreId = int32_t;
+
+/** Identifier of a PMD (processor module, a core pair; 0..3). */
+using PmdId = int32_t;
+
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+
+/** Energy in joules. */
+using Joule = double;
+
+/** Power in watts. */
+using Watt = double;
+
+/** Simulated wall-clock time in seconds. */
+using Second = double;
+
+/** Deterministic 64-bit seed material. */
+using Seed = uint64_t;
+
+} // namespace vmargin
+
+#endif // VMARGIN_UTIL_TYPES_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Umbrella header for library consumers: pulls in the public API of
+ * every vmargin component. Include this when prototyping; include
+ * the individual headers in production code to keep compile times
+ * down.
+ *
+ *   #include <vmargin.hh>
+ *
+ *   sim::Platform machine(sim::XGene2Params{},
+ *                         sim::ChipCorner::TTT, 1);
+ *   CharacterizationFramework framework(&machine);
+ *   ...
+ *
+ * Namespaces:
+ *   vmargin         — the paper's systems: characterization
+ *                     framework, severity, regions, prediction,
+ *                     mitigation, trade-offs (src/core)
+ *   vmargin::sim    — the simulated X-Gene 2 platform
+ *   vmargin::wl     — workload profiles and generators
+ *   vmargin::power  — power/energy models and DVFS helpers
+ *   vmargin::sched  — allocator, governor, closed-loop daemon
+ *   vmargin::stats  — regression/statistics toolkit
+ *   vmargin::util   — RNG, CSV, CLI, config, logging
+ */
+
+#ifndef VMARGIN_VMARGIN_HH
+#define VMARGIN_VMARGIN_HH
+
+// The paper's contribution (characterization + prediction).
+#include "core/campaign.hh"
+#include "core/classifier.hh"
+#include "core/effects.hh"
+#include "core/errorsites.hh"
+#include "core/framework.hh"
+#include "core/mitigation.hh"
+#include "core/predictor.hh"
+#include "core/profiler.hh"
+#include "core/regions.hh"
+#include "core/repeatability.hh"
+#include "core/resultstore.hh"
+#include "core/severity.hh"
+#include "core/tradeoff.hh"
+
+// The simulated platform.
+#include "sim/cache.hh"
+#include "sim/cache_hierarchy.hh"
+#include "sim/chip.hh"
+#include "sim/clock.hh"
+#include "sim/core.hh"
+#include "sim/edac.hh"
+#include "sim/enhancements.hh"
+#include "sim/margin_model.hh"
+#include "sim/param.hh"
+#include "sim/platform.hh"
+#include "sim/pmd.hh"
+#include "sim/pmu.hh"
+#include "sim/process_variation.hh"
+#include "sim/slimpro.hh"
+#include "sim/thermal.hh"
+#include "sim/voltage_domain.hh"
+#include "sim/watchdog.hh"
+
+// Workloads.
+#include "workloads/generator.hh"
+#include "workloads/profile.hh"
+#include "workloads/selftest.hh"
+#include "workloads/spec.hh"
+
+// Power and scheduling.
+#include "power/dvfs.hh"
+#include "power/energy.hh"
+#include "power/power_model.hh"
+#include "sched/allocator.hh"
+#include "sched/daemon.hh"
+#include "sched/governor.hh"
+
+// Statistics toolkit.
+#include "stats/linreg.hh"
+#include "stats/matrix.hh"
+#include "stats/metrics.hh"
+#include "stats/rfe.hh"
+#include "stats/scaler.hh"
+#include "stats/split.hh"
+
+// Utilities.
+#include "util/accum.hh"
+#include "util/cli.hh"
+#include "util/config.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+#endif // VMARGIN_VMARGIN_HH

@@ -1,0 +1,52 @@
+#include "profile.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vmargin::wl
+{
+
+using util::panicf;
+
+std::string
+WorkloadProfile::id() const
+{
+    return dataset.empty() ? name : name + "/" + dataset;
+}
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        panicf("WorkloadProfile: empty name");
+    const double total = mix.total();
+    if (std::fabs(total - 1.0) > 0.02)
+        panicf("WorkloadProfile ", id(), ": instruction mix sums to ",
+               total, ", expected ~1");
+    auto in01 = [&](double v, const char *what) {
+        if (v < 0.0 || v > 1.0)
+            panicf("WorkloadProfile ", id(), ": ", what, "=", v,
+                   " outside [0,1]");
+    };
+    in01(dispatchStallFrac, "dispatchStallFrac");
+    in01(branchMispredictRate, "branchMispredictRate");
+    in01(btbMissRate, "btbMissRate");
+    in01(unalignedFrac, "unalignedFrac");
+    in01(spatialLocality, "spatialLocality");
+    in01(temporalLocality, "temporalLocality");
+    in01(tlbStress, "tlbStress");
+    if (ipcNominal <= 0.0 || ipcNominal > 4.0)
+        panicf("WorkloadProfile ", id(), ": ipcNominal=", ipcNominal,
+               " outside (0,4] for a 4-issue core");
+    if (workingSetKb <= 0.0)
+        panicf("WorkloadProfile ", id(), ": non-positive working set");
+    if (kiloInstrPerEpoch == 0 || epochs == 0)
+        panicf("WorkloadProfile ", id(), ": zero-length program");
+    if (kind == WorkloadKind::CacheTest &&
+        targetLevel == CacheLevel::None)
+        panicf("WorkloadProfile ", id(),
+               ": CacheTest must name a target cache level");
+}
+
+} // namespace vmargin::wl

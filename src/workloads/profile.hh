@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Workload descriptions.
+ *
+ * The paper characterizes the X-Gene 2 with SPEC CPU2006 binaries.
+ * SPEC is proprietary and the study is tied to real silicon, so the
+ * reproduction replaces each benchmark with a *profile*: a compact
+ * micro-architectural description (instruction mix, locality, branch
+ * behaviour, stall characteristics) that drives both the synthetic
+ * execution engine (PMU counters, cache traffic) and the voltage
+ * margin model (how hard the workload exercises critical timing
+ * paths). Profiles for the 10 headline benchmarks are calibrated so
+ * the characterization reproduces the paper's Vmin bands.
+ */
+
+#ifndef VMARGIN_WORKLOADS_PROFILE_HH
+#define VMARGIN_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vmargin::wl
+{
+
+/** Dynamic instruction mix; fractions sum to 1. */
+struct InstructionMix
+{
+    double alu = 0.0;    ///< integer ALU ops
+    double fpu = 0.0;    ///< floating point ops
+    double load = 0.0;   ///< memory reads
+    double store = 0.0;  ///< memory writes
+    double branch = 0.0; ///< conditional + indirect branches
+
+    /** Sum of all categories (should be ~1 for valid profiles). */
+    double total() const { return alu + fpu + load + store + branch; }
+};
+
+/** What kind of program this is; the margin model treats the
+ *  component-directed self-tests of section 3.4 specially. */
+enum class WorkloadKind
+{
+    Spec,      ///< regular benchmark-like program
+    CacheTest, ///< fill/flip self-test directed at one cache level
+    AluTest,   ///< integer pipeline stress self-test
+    FpuTest    ///< floating point pipeline stress self-test
+};
+
+/** Cache level targeted by a CacheTest workload. */
+enum class CacheLevel
+{
+    L1I,
+    L1D,
+    L2,
+    L3,
+    None
+};
+
+/**
+ * Complete workload description. All rates are averages; the epoch
+ * generator adds small deterministic per-epoch variation.
+ */
+struct WorkloadProfile
+{
+    std::string name;    ///< e.g. "bwaves"
+    std::string dataset; ///< input set label, e.g. "ref"
+
+    WorkloadKind kind = WorkloadKind::Spec;
+    CacheLevel targetLevel = CacheLevel::None; ///< for CacheTest
+
+    InstructionMix mix;
+
+    double ipcNominal = 1.0;        ///< retired IPC at nominal V/F
+    double dispatchStallFrac = 0.2; ///< cycles with dispatch stalled
+    double branchMispredictRate = 0.01; ///< mispredicts per branch
+    double btbMissRate = 0.005;         ///< BTB misses per branch
+    double exceptionsPerKilo = 0.05;    ///< exceptions per 1k instr
+    double unalignedFrac = 0.0;     ///< unaligned per memory access
+
+    double workingSetKb = 256.0; ///< data footprint
+    double spatialLocality = 0.7;  ///< 0 random .. 1 sequential
+    double temporalLocality = 0.5; ///< 0 streaming .. 1 heavy reuse
+    double instrFootprintKb = 24.0; ///< code footprint (L1I pressure)
+    double tlbStress = 0.2;         ///< 0..1 TLB pressure
+
+    uint64_t kiloInstrPerEpoch = 10000; ///< 10M instructions/epoch
+    uint32_t epochs = 50;               ///< program length in epochs
+
+    /** Fraction of instructions touching memory. */
+    double memAccessFrac() const { return mix.load + mix.store; }
+
+    /** Unique "name/dataset" identifier. */
+    std::string id() const;
+
+    /** Basic sanity checks; panics on an inconsistent profile. */
+    void validate() const;
+};
+
+} // namespace vmargin::wl
+
+#endif // VMARGIN_WORKLOADS_PROFILE_HH

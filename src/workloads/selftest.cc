@@ -1,0 +1,112 @@
+#include "selftest.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::wl
+{
+
+WorkloadProfile
+cacheSelfTest(CacheLevel level)
+{
+    WorkloadProfile p;
+    p.kind = WorkloadKind::CacheTest;
+    p.targetLevel = level;
+    // Fill/flip loops are load/store streams with an idle pipeline:
+    // the core mostly waits on the memory system, so timing paths in
+    // the execute stages see very little stress.
+    p.mix = {0.18, 0.00, 0.40, 0.40, 0.02};
+    p.ipcNominal = 0.9;
+    p.dispatchStallFrac = 0.62;
+    p.branchMispredictRate = 0.001;
+    p.btbMissRate = 0.001;
+    p.exceptionsPerKilo = 0.01;
+    p.spatialLocality = 1.0; // walks the array linearly
+    p.temporalLocality = 0.0;
+    p.instrFootprintKb = 4.0;
+    p.tlbStress = 0.05;
+    p.epochs = 30;
+    switch (level) {
+      case CacheLevel::L1I:
+        p.name = "selftest-l1i";
+        p.workingSetKb = 32.0;
+        p.instrFootprintKb = 32.0; // exercised through fetch
+        break;
+      case CacheLevel::L1D:
+        p.name = "selftest-l1d";
+        p.workingSetKb = 32.0;
+        break;
+      case CacheLevel::L2:
+        p.name = "selftest-l2";
+        p.workingSetKb = 256.0;
+        break;
+      case CacheLevel::L3:
+        p.name = "selftest-l3";
+        p.workingSetKb = 8192.0;
+        break;
+      case CacheLevel::None:
+        util::panicf("cacheSelfTest: need a concrete cache level");
+    }
+    p.validate();
+    return p;
+}
+
+WorkloadProfile
+aluSelfTest()
+{
+    WorkloadProfile p;
+    p.name = "selftest-alu";
+    p.kind = WorkloadKind::AluTest;
+    // Dependent chains of integer multiplies/adds on random values:
+    // every issue slot busy, almost no memory traffic.
+    p.mix = {0.88, 0.00, 0.05, 0.02, 0.05};
+    p.ipcNominal = 3.2;
+    p.dispatchStallFrac = 0.03;
+    p.branchMispredictRate = 0.002;
+    p.btbMissRate = 0.001;
+    p.exceptionsPerKilo = 0.01;
+    p.workingSetKb = 16.0;
+    p.spatialLocality = 0.9;
+    p.temporalLocality = 0.9;
+    p.instrFootprintKb = 2.0;
+    p.tlbStress = 0.02;
+    p.epochs = 30;
+    p.validate();
+    return p;
+}
+
+WorkloadProfile
+fpuSelfTest()
+{
+    WorkloadProfile p;
+    p.name = "selftest-fpu";
+    p.kind = WorkloadKind::FpuTest;
+    // Concurrent FMA/divide mixes on random values; the FP datapath
+    // holds the longest timing paths on this core.
+    p.mix = {0.05, 0.85, 0.05, 0.02, 0.03};
+    p.ipcNominal = 2.8;
+    p.dispatchStallFrac = 0.04;
+    p.branchMispredictRate = 0.002;
+    p.btbMissRate = 0.001;
+    p.exceptionsPerKilo = 0.02;
+    p.workingSetKb = 16.0;
+    p.spatialLocality = 0.9;
+    p.temporalLocality = 0.9;
+    p.instrFootprintKb = 2.0;
+    p.tlbStress = 0.02;
+    p.epochs = 30;
+    p.validate();
+    return p;
+}
+
+std::vector<WorkloadProfile>
+selfTestSuite()
+{
+    return {cacheSelfTest(CacheLevel::L1I),
+            cacheSelfTest(CacheLevel::L1D),
+            cacheSelfTest(CacheLevel::L2),
+            cacheSelfTest(CacheLevel::L3),
+            aluSelfTest(),
+            fpuSelfTest()};
+}
+
+} // namespace vmargin::wl

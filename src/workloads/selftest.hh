@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Component-directed self-tests (paper section 3.4).
+ *
+ * The paper justifies the X-Gene 2's SDC-before-CE behaviour with
+ * custom tests: cache tests that fill each array and flip every bit
+ * of every block, and ALU/FPU tests that issue many concurrent
+ * operations on random values. On the real chip the ALU/FPU tests
+ * produced SDCs well above the voltages at which the cache tests
+ * crashed, showing timing paths (not SRAM cells) fail first.
+ */
+
+#ifndef VMARGIN_WORKLOADS_SELFTEST_HH
+#define VMARGIN_WORKLOADS_SELFTEST_HH
+
+#include <vector>
+
+#include "profile.hh"
+
+namespace vmargin::wl
+{
+
+/** Cache fill/flip test directed at @p level. */
+WorkloadProfile cacheSelfTest(CacheLevel level);
+
+/** Integer pipeline stress test. */
+WorkloadProfile aluSelfTest();
+
+/** Floating point pipeline stress test. */
+WorkloadProfile fpuSelfTest();
+
+/** All five self-tests: L1I, L1D, L2, L3 cache tests + ALU + FPU. */
+std::vector<WorkloadProfile> selfTestSuite();
+
+} // namespace vmargin::wl
+
+#endif // VMARGIN_WORKLOADS_SELFTEST_HH

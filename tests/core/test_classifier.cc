@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the execution-phase log format and the parsing
+ * phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+RunKey
+key()
+{
+    RunKey k;
+    k.workloadId = "bwaves/ref";
+    k.core = 4;
+    k.voltage = 905;
+    k.frequency = 2400;
+    k.campaign = 2;
+    k.runIndex = 7;
+    return k;
+}
+
+TEST(Classifier, CleanRunRoundTrip)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = true;
+    run.simulatedSeconds = 0.125;
+    run.avgIpc = 1.43;
+    run.activityFactor = 0.61;
+
+    const ClassifiedRun parsed = parseRunLog(formatRunLog(key(), run));
+    EXPECT_EQ(parsed.key.workloadId, "bwaves/ref");
+    EXPECT_EQ(parsed.key.core, 4);
+    EXPECT_EQ(parsed.key.voltage, 905);
+    EXPECT_EQ(parsed.key.frequency, 2400);
+    EXPECT_EQ(parsed.key.campaign, 2u);
+    EXPECT_EQ(parsed.key.runIndex, 7u);
+    EXPECT_TRUE(parsed.effects.normal());
+    EXPECT_NEAR(parsed.seconds, 0.125, 1e-6);
+    EXPECT_NEAR(parsed.avgIpc, 1.43, 1e-4);
+    EXPECT_NEAR(parsed.activityFactor, 0.61, 1e-4);
+}
+
+TEST(Classifier, SdcRun)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = false;
+    run.sdcEvents = 3;
+    const ClassifiedRun parsed = parseRunLog(formatRunLog(key(), run));
+    EXPECT_TRUE(parsed.effects.has(Effect::SDC));
+    EXPECT_EQ(parsed.sdcEvents, 3u);
+}
+
+TEST(Classifier, EdacCountsAndSites)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = true;
+    run.correctedErrors = 9;
+    run.uncorrectedErrors = 2;
+    sim::ErrorRecord record;
+    record.kind = sim::ErrorKind::Corrected;
+    record.site = sim::ErrorSite::L2Cache;
+    record.count = 9;
+    run.errors.push_back(record);
+
+    const auto lines = formatRunLog(key(), run);
+    bool has_site_line = false;
+    for (const auto &line : lines)
+        has_site_line = has_site_line ||
+                        line.find("site=L2Cache") != std::string::npos;
+    EXPECT_TRUE(has_site_line)
+        << "location detail must be logged (section 2.2)";
+
+    const ClassifiedRun parsed = parseRunLog(lines);
+    EXPECT_TRUE(parsed.effects.has(Effect::CE));
+    EXPECT_TRUE(parsed.effects.has(Effect::UE));
+    EXPECT_EQ(parsed.correctedErrors, 9u);
+    EXPECT_EQ(parsed.uncorrectedErrors, 2u);
+    ASSERT_EQ(parsed.correctedBySite.count("L2Cache"), 1u);
+    EXPECT_EQ(parsed.correctedBySite.at("L2Cache"), 9u);
+    EXPECT_TRUE(parsed.uncorrectedBySite.empty());
+}
+
+TEST(Classifier, ApplicationCrash)
+{
+    sim::RunResult run;
+    run.applicationCrashed = true;
+    run.exitCode = 139;
+    const ClassifiedRun parsed = parseRunLog(formatRunLog(key(), run));
+    EXPECT_TRUE(parsed.effects.has(Effect::AC));
+    EXPECT_FALSE(parsed.effects.has(Effect::SDC));
+    EXPECT_EQ(parsed.exitCode, 139);
+}
+
+TEST(Classifier, SystemCrash)
+{
+    sim::RunResult run;
+    run.systemCrashed = true;
+    const ClassifiedRun parsed = parseRunLog(formatRunLog(key(), run));
+    EXPECT_TRUE(parsed.effects.has(Effect::SC));
+    EXPECT_FALSE(parsed.effects.has(Effect::AC))
+        << "a hung machine reports no exit code";
+}
+
+TEST(Classifier, CampaignLogSplitsRuns)
+{
+    sim::RunResult clean;
+    clean.completed = true;
+    clean.outputMatches = true;
+    sim::RunResult crashed;
+    crashed.systemCrashed = true;
+
+    std::vector<std::string> log = formatRunLog(key(), clean);
+    RunKey second = key();
+    second.runIndex = 8;
+    second.voltage = 900;
+    const auto more = formatRunLog(second, crashed);
+    log.insert(log.end(), more.begin(), more.end());
+
+    const auto runs = parseCampaignLog(log);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_TRUE(runs[0].effects.normal());
+    EXPECT_TRUE(runs[1].effects.has(Effect::SC));
+    EXPECT_EQ(runs[1].key.voltage, 900);
+}
+
+TEST(Classifier, CsvRowMatchesHeader)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = false;
+    const ClassifiedRun parsed = parseRunLog(formatRunLog(key(), run));
+    const auto header = classifiedRunCsvHeader();
+    const auto row = classifiedRunCsvRow(parsed);
+    EXPECT_EQ(header.size(), row.size());
+    EXPECT_EQ(row[0], "bwaves/ref");
+    EXPECT_EQ(row[6], "SDC");
+}
+
+TEST(Classifier, SiteCountEncodingRoundTrip)
+{
+    const std::map<std::string, uint64_t> sites = {
+        {"L2Cache", 9}, {"L3Cache", 2}, {"DRAM", 1}};
+    EXPECT_EQ(decodeSiteCounts(encodeSiteCounts(sites)), sites);
+    EXPECT_TRUE(decodeSiteCounts("").empty());
+    EXPECT_EQ(encodeSiteCounts({}), "");
+}
+
+TEST(Classifier, DeathOnMalformedSiteCounts)
+{
+    EXPECT_DEATH(decodeSiteCounts("L2Cache"), "malformed");
+    EXPECT_DEATH(decodeSiteCounts("L2Cache:x"), "bad count");
+}
+
+TEST(Classifier, DeathOnEmptyLog)
+{
+    EXPECT_DEATH(parseRunLog({}), "empty log");
+}
+
+TEST(Classifier, DeathOnCorruptLog)
+{
+    EXPECT_DEATH(
+        parseRunLog({"RUN workload=x core=a voltage=1 freq=1 "
+                     "campaign=0 run=0"}),
+        "not an integer");
+}
+
+} // namespace
+} // namespace vmargin

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the section 4.4 mitigation policy map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mitigation.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+TEST(Mitigation, SafeRangeNeedsNothing)
+{
+    const auto advice = adviseMitigation(0.0);
+    EXPECT_EQ(advice.action, MitigationAction::None);
+    EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(Mitigation, CorrectedErrorsFirstRange)
+{
+    // severity = 1 (CE weight): the Itanium-style range where ECC
+    // is a safe proxy.
+    const auto advice = adviseMitigation(1.0);
+    EXPECT_EQ(advice.action, MitigationAction::EccMonitoring);
+    EXPECT_EQ(adviseMitigation(0.5).action,
+              MitigationAction::EccMonitoring);
+}
+
+TEST(Mitigation, SdcRangeNeedsProtection)
+{
+    // severity 4 = SDCs alone; 5-7 = SDC with CE/UE.
+    for (double s : {1.5, 4.0, 5.0, 7.0, 7.9}) {
+        const auto advice = adviseMitigation(s);
+        EXPECT_EQ(advice.action, MitigationAction::SdcProtection)
+            << "severity " << s;
+    }
+}
+
+TEST(Mitigation, SdcToleranceOnlyUpToPureSdc)
+{
+    // "For such applications, severity <= 4 can be used" —
+    // approximate computing, video processing, jammer detection.
+    EXPECT_TRUE(adviseMitigation(4.0).tolerableBySdcTolerantApps);
+    EXPECT_TRUE(adviseMitigation(3.0).tolerableBySdcTolerantApps);
+    EXPECT_FALSE(adviseMitigation(6.0).tolerableBySdcTolerantApps);
+}
+
+TEST(Mitigation, CrashRangeIsUnusable)
+{
+    // severity 8-19: application/system crashes dominate.
+    for (double s : {8.0, 12.0, 16.0, 19.0, 31.0})
+        EXPECT_EQ(adviseMitigation(s).action,
+                  MitigationAction::Unusable)
+            << "severity " << s;
+}
+
+TEST(Mitigation, RespectsCustomWeights)
+{
+    SeverityWeights w;
+    w.ce = 2.0;
+    w.ac = 50.0;
+    EXPECT_EQ(adviseMitigation(1.5, w).action,
+              MitigationAction::EccMonitoring);
+    EXPECT_EQ(adviseMitigation(20.0, w).action,
+              MitigationAction::SdcProtection);
+}
+
+TEST(Mitigation, ActionNames)
+{
+    EXPECT_EQ(mitigationActionName(MitigationAction::None), "none");
+    EXPECT_EQ(mitigationActionName(MitigationAction::EccMonitoring),
+              "ecc-monitoring");
+    EXPECT_EQ(mitigationActionName(MitigationAction::SdcProtection),
+              "sdc-protection");
+    EXPECT_EQ(mitigationActionName(MitigationAction::Unusable),
+              "unusable");
+}
+
+TEST(Mitigation, DeathOnNegativeSeverity)
+{
+    EXPECT_DEATH(adviseMitigation(-1.0), "negative severity");
+}
+
+} // namespace
+} // namespace vmargin

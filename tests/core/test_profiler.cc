@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the nominal-condition PMU profiler (Figure 6,
+ * phase 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    ProfilerTest()
+        : platform_(sim::XGene2Params{}, sim::ChipCorner::TTT, 1),
+          profiler_(&platform_)
+    {
+    }
+
+    sim::Platform platform_;
+    Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, ProfilesAtNominalEvenAfterUndervolt)
+{
+    // Somebody left the domain scaled; profiling must restore
+    // nominal conditions first (phase 2 runs at nominal only).
+    platform_.chip().pmdDomain().set(905);
+    platform_.chip().pmd(0).clock().set(1200);
+    const auto profile =
+        profiler_.profile(wl::findWorkload("bwaves/ref"), 0, 10);
+    EXPECT_GT(profile.instructions, 0u);
+    EXPECT_EQ(platform_.chip().pmdDomain().voltage(), 980);
+    EXPECT_EQ(platform_.chip().pmd(0).clock().frequency(), 2400);
+}
+
+TEST_F(ProfilerTest, RecoversAHungMachine)
+{
+    platform_.chip().pmdDomain().set(820);
+    sim::ExecutionConfig trim;
+    trim.maxEpochs = 10;
+    (void)platform_.runWorkload(
+        0, wl::findWorkload("bwaves/ref"), 1, trim);
+    ASSERT_FALSE(platform_.responsive());
+    const auto profile =
+        profiler_.profile(wl::findWorkload("namd/ref"), 4, 10);
+    EXPECT_GT(profile.instructions, 0u);
+    EXPECT_TRUE(platform_.responsive());
+}
+
+TEST_F(ProfilerTest, PerKiloNormalization)
+{
+    const auto profile =
+        profiler_.profile(wl::findWorkload("gcc/166"), 0, 10);
+    EXPECT_NEAR(profile.perKilo(sim::PmuEvent::INST_RETIRED),
+                1000.0, 1.0);
+    // gcc is branchy: ~240 branches per kilo-instruction.
+    EXPECT_NEAR(profile.perKilo(sim::PmuEvent::BR_RETIRED), 240.0,
+                25.0);
+}
+
+TEST_F(ProfilerTest, ProfilesReflectWorkloadCharacter)
+{
+    const auto mcf =
+        profiler_.profile(wl::findWorkload("mcf/ref"), 0, 10);
+    const auto namd =
+        profiler_.profile(wl::findWorkload("namd/ref"), 0, 10);
+    // Memory-bound mcf stalls dispatch far more per instruction.
+    EXPECT_GT(
+        mcf.perKilo(sim::PmuEvent::DISPATCH_STALL_CYCLES),
+        5.0 * namd.perKilo(sim::PmuEvent::DISPATCH_STALL_CYCLES));
+    // FP-dense namd dwarfs mcf's VFP activity.
+    EXPECT_GT(namd.perKilo(sim::PmuEvent::VFP_SPEC),
+              10.0 * mcf.perKilo(sim::PmuEvent::VFP_SPEC));
+}
+
+TEST_F(ProfilerTest, SuiteOrderMatchesInput)
+{
+    const auto suite = wl::headlineSuite();
+    const auto profiles = profiler_.profileSuite(suite, 0, 8);
+    ASSERT_EQ(profiles.size(), suite.size());
+    for (size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(profiles[i].workloadId, suite[i].id());
+}
+
+TEST_F(ProfilerTest, FeatureMatrixRowOrderMatchesProfiles)
+{
+    const auto profiles = profiler_.profileSuite(
+        {wl::findWorkload("mcf/ref"), wl::findWorkload("namd/ref")},
+        0, 8);
+    const auto features = counterFeatureMatrix(profiles);
+    const auto col = static_cast<size_t>(
+        sim::PmuEvent::DISPATCH_STALL_CYCLES);
+    EXPECT_DOUBLE_EQ(
+        features(0, col),
+        profiles[0].perKilo(sim::PmuEvent::DISPATCH_STALL_CYCLES));
+    EXPECT_GT(features(0, col), features(1, col));
+}
+
+TEST_F(ProfilerTest, DeterministicPerWorkload)
+{
+    const auto a =
+        profiler_.profile(wl::findWorkload("milc/ref"), 2, 8);
+    platform_.powerCycle();
+    const auto b =
+        profiler_.profile(wl::findWorkload("milc/ref"), 2, 8);
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+} // namespace
+} // namespace vmargin

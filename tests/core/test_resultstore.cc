@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Round-trip tests for characterization-report persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/resultstore.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+class ResultStoreTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        platform_ = new sim::Platform(sim::XGene2Params{},
+                                      sim::ChipCorner::TFF, 3);
+        CharacterizationFramework framework(platform_);
+        FrameworkConfig config;
+        config.workloads = {wl::findWorkload("bwaves/ref"),
+                            wl::findWorkload("mcf/ref")};
+        config.cores = {0, 4};
+        config.campaigns = 4;
+        config.maxEpochs = 8;
+        config.startVoltage = 930;
+        config.endVoltage = 840;
+        report_ = new CharacterizationReport(
+            framework.characterize(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete report_;
+        delete platform_;
+        report_ = nullptr;
+        platform_ = nullptr;
+    }
+
+    static sim::Platform *platform_;
+    static CharacterizationReport *report_;
+};
+
+sim::Platform *ResultStoreTest::platform_ = nullptr;
+CharacterizationReport *ResultStoreTest::report_ = nullptr;
+
+TEST_F(ResultStoreTest, MetadataSurvives)
+{
+    const auto loaded =
+        deserializeReport(serializeReport(*report_));
+    EXPECT_EQ(loaded.chipName, report_->chipName);
+    EXPECT_EQ(loaded.corner, report_->corner);
+    EXPECT_EQ(loaded.frequency, report_->frequency);
+    EXPECT_EQ(loaded.watchdogInterventions,
+              report_->watchdogInterventions);
+}
+
+TEST_F(ResultStoreTest, RunsSurvive)
+{
+    const auto loaded =
+        deserializeReport(serializeReport(*report_));
+    ASSERT_EQ(loaded.allRuns.size(), report_->allRuns.size());
+    for (size_t i = 0; i < loaded.allRuns.size(); ++i) {
+        const auto &a = loaded.allRuns[i];
+        const auto &b = report_->allRuns[i];
+        EXPECT_EQ(a.key.workloadId, b.key.workloadId);
+        EXPECT_EQ(a.key.voltage, b.key.voltage);
+        EXPECT_EQ(a.key.campaign, b.key.campaign);
+        EXPECT_EQ(a.effects, b.effects);
+        EXPECT_EQ(a.sdcEvents, b.sdcEvents);
+        EXPECT_EQ(a.correctedErrors, b.correctedErrors);
+        EXPECT_EQ(a.exitCode, b.exitCode);
+    }
+}
+
+TEST_F(ResultStoreTest, AnalysesRebuildIdentically)
+{
+    const auto loaded =
+        deserializeReport(serializeReport(*report_));
+    ASSERT_EQ(loaded.cells.size(), report_->cells.size());
+    for (const auto &cell : report_->cells) {
+        const auto &rebuilt =
+            loaded.cell(cell.workloadId, cell.core);
+        EXPECT_EQ(rebuilt.analysis.vmin, cell.analysis.vmin);
+        EXPECT_EQ(rebuilt.analysis.highestCrashVoltage,
+                  cell.analysis.highestCrashVoltage);
+        EXPECT_EQ(rebuilt.analysis.unsafeWidth(),
+                  cell.analysis.unsafeWidth());
+        for (const auto &[v, sev] :
+             cell.analysis.severityByVoltage)
+            EXPECT_DOUBLE_EQ(
+                rebuilt.analysis.severityByVoltage.at(v), sev);
+    }
+}
+
+TEST_F(ResultStoreTest, ErrorSitesSurvive)
+{
+    const auto loaded =
+        deserializeReport(serializeReport(*report_));
+    size_t runs_with_sites = 0;
+    for (size_t i = 0; i < loaded.allRuns.size(); ++i) {
+        EXPECT_EQ(loaded.allRuns[i].correctedBySite,
+                  report_->allRuns[i].correctedBySite);
+        EXPECT_EQ(loaded.allRuns[i].uncorrectedBySite,
+                  report_->allRuns[i].uncorrectedBySite);
+        runs_with_sites +=
+            !loaded.allRuns[i].correctedBySite.empty();
+    }
+    EXPECT_GT(runs_with_sites, 0u)
+        << "the sweep must have produced EDAC location detail";
+}
+
+TEST_F(ResultStoreTest, SerializedFormIsStable)
+{
+    const std::string once = serializeReport(*report_);
+    const std::string twice =
+        serializeReport(deserializeReport(once));
+    EXPECT_EQ(once, twice);
+}
+
+TEST_F(ResultStoreTest, FileRoundTrip)
+{
+    const std::string path = "/tmp/vmargin_test_report.csv";
+    saveReport(*report_, path);
+    const auto loaded = loadReport(path);
+    EXPECT_EQ(loaded.allRuns.size(), report_->allRuns.size());
+    EXPECT_EQ(loaded.chipName, report_->chipName);
+    std::remove(path.c_str());
+}
+
+TEST_F(ResultStoreTest, CustomWeightsChangeSeverityOnly)
+{
+    SeverityWeights heavy;
+    heavy.sdc = 100.0;
+    const auto loaded =
+        deserializeReport(serializeReport(*report_), heavy);
+    const auto &base = report_->cell("bwaves/ref", 0).analysis;
+    const auto &reweighted =
+        loaded.cell("bwaves/ref", 0).analysis;
+    EXPECT_EQ(reweighted.vmin, base.vmin);
+    // Severity in the unsafe region must now dwarf the original.
+    const MilliVolt probe = base.vmin - 10;
+    if (base.severityByVoltage.count(probe) &&
+        base.severityByVoltage.at(probe) > 0.0) {
+        EXPECT_GT(reweighted.severityByVoltage.at(probe),
+                  base.severityByVoltage.at(probe));
+    }
+}
+
+TEST(ResultStore, DeathOnGarbage)
+{
+    EXPECT_DEATH(deserializeReport("not a report"),
+                 "metadata header");
+}
+
+} // namespace
+} // namespace vmargin

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the Figure 9 energy/performance trade-off ladder.
+ * Uses a hand-built characterization report so the expected voltages
+ * are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tradeoff.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+/** Report with one workload per core and a chosen per-cell Vmin. */
+CharacterizationReport
+reportWith(const std::vector<std::pair<std::string, MilliVolt>>
+               &per_core)
+{
+    CharacterizationReport report;
+    report.chipName = "TTT#1";
+    for (size_t core = 0; core < per_core.size(); ++core) {
+        CellResult cell;
+        cell.workloadId = per_core[core].first;
+        cell.core = static_cast<CoreId>(core);
+        cell.analysis.vmin = per_core[core].second;
+        // minimal plausible region map
+        cell.analysis.regions[per_core[core].second] = Region::Safe;
+        report.cells.push_back(cell);
+    }
+    return report;
+}
+
+std::vector<Placement>
+placementsOf(const CharacterizationReport &report)
+{
+    std::vector<Placement> placements;
+    for (const auto &cell : report.cells)
+        placements.push_back(Placement{cell.workloadId, cell.core});
+    return placements;
+}
+
+TEST(Tradeoff, RequiredVoltageIsTheWorstCell)
+{
+    const auto report = reportWith({{"a", 905}, {"b", 880},
+                                    {"c", 870}, {"d", 860},
+                                    {"e", 875}, {"f", 865},
+                                    {"g", 890}, {"h", 885}});
+    const TradeoffExplorer explorer(report, 760);
+    EXPECT_EQ(explorer.requiredVoltage(placementsOf(report), {}),
+              905);
+}
+
+TEST(Tradeoff, SlowingAPmdRemovesItsDemand)
+{
+    const auto report = reportWith({{"a", 905}, {"b", 880},
+                                    {"c", 870}, {"d", 860},
+                                    {"e", 875}, {"f", 865},
+                                    {"g", 890}, {"h", 885}});
+    const TradeoffExplorer explorer(report, 760);
+    // Slow PMD 0 (cores 0,1 with demands 905/880): next worst is
+    // PMD 3 (890).
+    EXPECT_EQ(explorer.requiredVoltage(placementsOf(report), {0}),
+              890);
+}
+
+TEST(Tradeoff, VoltageSnapsUpToGrid)
+{
+    const auto report = reportWith({{"a", 903}});
+    const TradeoffExplorer explorer(report, 760);
+    EXPECT_EQ(explorer.requiredVoltage(placementsOf(report), {}),
+              905);
+}
+
+TEST(Tradeoff, WeaknessOrdering)
+{
+    const auto report = reportWith({{"a", 905}, {"b", 880},  // PMD0
+                                    {"c", 870}, {"d", 860},  // PMD1
+                                    {"e", 875}, {"f", 865},  // PMD2
+                                    {"g", 890}, {"h", 885}}); // PMD3
+    const TradeoffExplorer explorer(report, 760);
+    const auto order = explorer.pmdsByWeakness(placementsOf(report));
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0); // demands 905
+    EXPECT_EQ(order[1], 3); // 890
+    EXPECT_EQ(order[2], 2); // 875
+    EXPECT_EQ(order[3], 1); // 870
+}
+
+TEST(Tradeoff, LadderReproducesFigure9Shape)
+{
+    // Demands chosen to mirror the paper's ladder: 915 / 900 / 885 /
+    // 875 with 760 at the all-slow point.
+    const auto report = reportWith({{"a", 915}, {"b", 900},  // PMD0
+                                    {"c", 875}, {"d", 860},  // PMD1
+                                    {"e", 900}, {"f", 880},  // PMD2
+                                    {"g", 885}, {"h", 870}}); // PMD3
+    const TradeoffExplorer explorer(report, 760);
+    const auto ladder = explorer.ladder(placementsOf(report));
+    ASSERT_EQ(ladder.size(), 5u);
+
+    // Step 0: full speed at the worst demand.
+    EXPECT_EQ(ladder[0].slowedPmds, 0);
+    EXPECT_EQ(ladder[0].voltage, 915);
+    EXPECT_DOUBLE_EQ(ladder[0].performanceRel, 1.0);
+    EXPECT_NEAR(ladder[0].powerRel, 0.872, 0.001);
+    EXPECT_NEAR(ladder[0].savingsPercent(), 12.8, 0.1);
+
+    // Step 1: PMD0 slowed -> PMD2 (900) dictates.
+    EXPECT_EQ(ladder[1].voltage, 900);
+    EXPECT_DOUBLE_EQ(ladder[1].performanceRel, 0.875);
+    EXPECT_NEAR(ladder[1].powerRel, 0.738, 0.001);
+
+    // Step 2: PMD0+PMD2 slowed -> PMD3 (885).
+    EXPECT_EQ(ladder[2].voltage, 885);
+    EXPECT_DOUBLE_EQ(ladder[2].performanceRel, 0.75);
+    EXPECT_NEAR(ladder[2].savingsPercent(), 38.8, 0.2);
+
+    // Step 3: -> PMD1 (875).
+    EXPECT_EQ(ladder[3].voltage, 875);
+    EXPECT_NEAR(ladder[3].powerRel, 0.498, 0.001);
+
+    // Step 4: everything slowed -> half-speed Vmin.
+    EXPECT_EQ(ladder[4].slowedPmds, 4);
+    EXPECT_EQ(ladder[4].voltage, 760);
+    EXPECT_DOUBLE_EQ(ladder[4].performanceRel, 0.5);
+    EXPECT_NEAR(ladder[4].powerRel, 0.301, 0.001);
+}
+
+TEST(Tradeoff, MonotoneAlongTheLadder)
+{
+    const auto report = reportWith({{"a", 910}, {"b", 895},
+                                    {"c", 880}, {"d", 870},
+                                    {"e", 885}, {"f", 860},
+                                    {"g", 905}, {"h", 875}});
+    const TradeoffExplorer explorer(report, 760);
+    const auto ladder = explorer.ladder(placementsOf(report));
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_LE(ladder[i].voltage, ladder[i - 1].voltage);
+        EXPECT_LT(ladder[i].performanceRel,
+                  ladder[i - 1].performanceRel);
+        EXPECT_LT(ladder[i].powerRel, ladder[i - 1].powerRel);
+    }
+}
+
+TEST(Tradeoff, PartialPlacementOnlyLaddersUsedPmds)
+{
+    const auto report = reportWith({{"a", 905}, {"b", 880}});
+    const TradeoffExplorer explorer(report, 760);
+    const auto ladder = explorer.ladder(placementsOf(report));
+    // Only PMD 0 carries work: steps 0 and 1.
+    ASSERT_EQ(ladder.size(), 2u);
+    EXPECT_EQ(ladder[1].voltage, 760);
+}
+
+TEST(Tradeoff, DeathOnEmptyPlacement)
+{
+    const auto report = reportWith({{"a", 905}});
+    const TradeoffExplorer explorer(report, 760);
+    EXPECT_DEATH(explorer.ladder({}), "empty placement");
+}
+
+} // namespace
+} // namespace vmargin

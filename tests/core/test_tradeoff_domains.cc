@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the finer-grained voltage-domain analysis (section 6,
+ * third design enhancement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tradeoff.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+CharacterizationReport
+reportWith(const std::vector<std::pair<std::string, MilliVolt>>
+               &per_core)
+{
+    CharacterizationReport report;
+    report.chipName = "TTT#1";
+    for (size_t core = 0; core < per_core.size(); ++core) {
+        CellResult cell;
+        cell.workloadId = per_core[core].first;
+        cell.core = static_cast<CoreId>(core);
+        cell.analysis.vmin = per_core[core].second;
+        report.cells.push_back(cell);
+    }
+    return report;
+}
+
+std::vector<Placement>
+placementsOf(const CharacterizationReport &report)
+{
+    std::vector<Placement> placements;
+    for (const auto &cell : report.cells)
+        placements.push_back(Placement{cell.workloadId, cell.core});
+    return placements;
+}
+
+TEST(PerPmdDomains, SavesWhenDemandIsAsymmetric)
+{
+    // PMD 0 needs 915; the others could run at 870/875/880.
+    const auto report = reportWith({{"a", 915}, {"b", 900},
+                                    {"c", 870}, {"d", 865},
+                                    {"e", 875}, {"f", 860},
+                                    {"g", 880}, {"h", 870}});
+    const TradeoffExplorer explorer(report, 760);
+    const auto placements = placementsOf(report);
+    const double single = explorer.singleDomainPowerRel(placements);
+    const double per_pmd =
+        explorer.perPmdDomainPowerRel(placements);
+    EXPECT_LT(per_pmd, single);
+    // Exact arithmetic: single = (915/980)^2; per-PMD averages the
+    // four per-PMD (V/980)^2 terms at 915/870/875/880.
+    EXPECT_NEAR(single, std::pow(915.0 / 980.0, 2), 1e-12);
+    const double expected =
+        (std::pow(915.0 / 980.0, 2) + std::pow(870.0 / 980.0, 2) +
+         std::pow(875.0 / 980.0, 2) + std::pow(880.0 / 980.0, 2)) /
+        4.0;
+    EXPECT_NEAR(per_pmd, expected, 1e-12);
+}
+
+TEST(PerPmdDomains, NoGainWhenDemandUniform)
+{
+    const auto report = reportWith({{"a", 900}, {"b", 900},
+                                    {"c", 900}, {"d", 900},
+                                    {"e", 900}, {"f", 900},
+                                    {"g", 900}, {"h", 900}});
+    const TradeoffExplorer explorer(report, 760);
+    const auto placements = placementsOf(report);
+    EXPECT_NEAR(explorer.perPmdDomainPowerRel(placements),
+                explorer.singleDomainPowerRel(placements), 1e-12);
+}
+
+TEST(PerPmdDomains, IgnoresIdlePmds)
+{
+    // Only PMD 0 carries work.
+    const auto report = reportWith({{"a", 900}, {"b", 880}});
+    const TradeoffExplorer explorer(report, 760);
+    const auto placements = placementsOf(report);
+    EXPECT_NEAR(explorer.perPmdDomainPowerRel(placements),
+                std::pow(900.0 / 980.0, 2), 1e-12);
+}
+
+TEST(PerPmdDomains, SnapsToTheGrid)
+{
+    const auto report = reportWith({{"a", 903}});
+    const TradeoffExplorer explorer(report, 760);
+    EXPECT_NEAR(explorer.perPmdDomainPowerRel(placementsOf(report)),
+                std::pow(905.0 / 980.0, 2), 1e-12);
+}
+
+TEST(PerPmdDomains, DeathOnEmptyPlacement)
+{
+    const auto report = reportWith({{"a", 900}});
+    const TradeoffExplorer explorer(report, 760);
+    EXPECT_DEATH(explorer.perPmdDomainPowerRel({}),
+                 "empty placement");
+}
+
+} // namespace
+} // namespace vmargin

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Whole-pipeline determinism: identical configurations on identical
+ * chips must reproduce byte-identical results, whatever the previous
+ * history of the platform objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+FrameworkConfig
+smallConfig()
+{
+    FrameworkConfig config;
+    config.workloads = {wl::findWorkload("leslie3d/ref")};
+    config.cores = {0, 4};
+    config.campaigns = 3;
+    config.maxEpochs = 8;
+    config.startVoltage = 930;
+    config.endVoltage = 850;
+    return config;
+}
+
+TEST(Determinism, TwoFreshPlatformsAgree)
+{
+    sim::Platform a(sim::XGene2Params{}, sim::ChipCorner::TTT, 5);
+    sim::Platform b(sim::XGene2Params{}, sim::ChipCorner::TTT, 5);
+    CharacterizationFramework fa(&a), fb(&b);
+    const auto ra = fa.characterize(smallConfig());
+    const auto rb = fb.characterize(smallConfig());
+    EXPECT_EQ(ra.toCsv(), rb.toCsv());
+    EXPECT_EQ(ra.summaryCsv(), rb.summaryCsv());
+}
+
+TEST(Determinism, RepeatOnSamePlatformAgrees)
+{
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TFF,
+                           2);
+    CharacterizationFramework framework(&platform);
+    const auto first = framework.characterize(smallConfig());
+    const auto second = framework.characterize(smallConfig());
+    EXPECT_EQ(first.toCsv(), second.toCsv());
+}
+
+TEST(Determinism, DifferentSerialsDiffer)
+{
+    sim::Platform a(sim::XGene2Params{}, sim::ChipCorner::TTT, 1);
+    sim::Platform b(sim::XGene2Params{}, sim::ChipCorner::TTT, 2);
+    CharacterizationFramework fa(&a), fb(&b);
+    const auto ra = fa.characterize(smallConfig());
+    const auto rb = fb.characterize(smallConfig());
+    EXPECT_NE(ra.toCsv(), rb.toCsv());
+}
+
+TEST(Determinism, CornersDiffer)
+{
+    sim::Platform a(sim::XGene2Params{}, sim::ChipCorner::TTT, 1);
+    sim::Platform b(sim::XGene2Params{}, sim::ChipCorner::TSS, 1);
+    CharacterizationFramework fa(&a), fb(&b);
+    const auto config = smallConfig();
+    const auto ra = fa.characterize(config);
+    const auto rb = fb.characterize(config);
+    // TSS is the weak corner: strictly higher Vmin on every cell.
+    for (const auto &cell : ra.cells) {
+        EXPECT_LT(cell.analysis.vmin,
+                  rb.cell(cell.workloadId, cell.core).analysis.vmin);
+    }
+}
+
+} // namespace
+} // namespace vmargin

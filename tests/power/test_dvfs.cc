@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for DVFS sweep helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/dvfs.hh"
+
+namespace vmargin::power
+{
+namespace
+{
+
+TEST(VoltageSweep, DescendingInclusive)
+{
+    const auto sweep = voltageSweep(980, 965, 5);
+    EXPECT_EQ(sweep,
+              (std::vector<MilliVolt>{980, 975, 970, 965}));
+}
+
+TEST(VoltageSweep, SinglePoint)
+{
+    const auto sweep = voltageSweep(900, 900, 5);
+    EXPECT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0], 900);
+}
+
+TEST(VoltageSweep, UnreachableFloorStopsAbove)
+{
+    const auto sweep = voltageSweep(980, 972, 5);
+    EXPECT_EQ(sweep.back(), 975);
+}
+
+TEST(VoltageSweep, DeathOnBadArgs)
+{
+    EXPECT_DEATH(voltageSweep(980, 990, 5), "below");
+    EXPECT_DEATH(voltageSweep(980, 900, 0), "positive");
+}
+
+TEST(FrequencyLadder, FullGrid)
+{
+    const auto ladder = frequencyLadder(sim::XGene2Params{});
+    EXPECT_EQ(ladder.size(), 8u);
+    EXPECT_EQ(ladder.front(), 2400);
+    EXPECT_EQ(ladder.back(), 300);
+}
+
+TEST(OperatingGrid, SizeAndBounds)
+{
+    const auto grid = operatingGrid(sim::XGene2Params{}, 960);
+    // 5 voltages x 8 frequencies.
+    EXPECT_EQ(grid.size(), 40u);
+    for (const auto &point : grid) {
+        EXPECT_GE(point.voltage, 960);
+        EXPECT_LE(point.voltage, 980);
+        EXPECT_GE(point.frequency, 300);
+        EXPECT_LE(point.frequency, 2400);
+    }
+}
+
+} // namespace
+} // namespace vmargin::power

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for energy accounting over characterization runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+#include "sim/cache_hierarchy.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::power
+{
+namespace
+{
+
+class EnergyTest : public ::testing::Test
+{
+  protected:
+    EnergyTest()
+        : variation_(params_, sim::ChipCorner::TTT, 1),
+          caches_(params_), core_(4, params_, &caches_),
+          accountant_(PowerModel{}, variation_, 950)
+    {
+    }
+
+    sim::RunResult
+    cleanRun(MilliVolt v, MegaHertz f)
+    {
+        sim::OnsetSet onsets;
+        onsets.sdc = 600;
+        onsets.ce = 595;
+        onsets.ue = 590;
+        onsets.ac = 590;
+        onsets.sc = 580;
+        sim::ExecutionConfig config;
+        config.voltage = v;
+        config.frequency = f;
+        config.seed = 1;
+        config.maxEpochs = 10;
+        return core_.run(wl::findWorkload("leslie3d/ref"), onsets,
+                         config);
+    }
+
+    sim::XGene2Params params_;
+    sim::ProcessVariation variation_;
+    sim::CacheHierarchy caches_;
+    sim::Core core_;
+    EnergyAccountant accountant_;
+};
+
+TEST_F(EnergyTest, PositiveComponents)
+{
+    const auto run = cleanRun(980, 2400);
+    const EnergyBreakdown energy =
+        accountant_.runEnergy(4, run, 43.0);
+    EXPECT_GT(energy.coreDynamic, 0.0);
+    EXPECT_GT(energy.coreLeakage, 0.0);
+    EXPECT_GT(energy.soc, 0.0);
+    EXPECT_NEAR(energy.total(), energy.coreDynamic +
+                                    energy.coreLeakage + energy.soc,
+                1e-12);
+}
+
+TEST_F(EnergyTest, UndervoltingSavesEnergy)
+{
+    const auto run = cleanRun(980, 2400);
+    const double nominal =
+        accountant_.runEnergy(4, run, 43.0).coreDynamic;
+    const double scaled =
+        accountant_.scaledEnergy(4, run, 880, 2400, 43.0)
+            .coreDynamic;
+    // (880/980)^2 -> 19.4% dynamic-energy savings.
+    EXPECT_NEAR(1.0 - scaled / nominal, 0.194, 0.002);
+}
+
+TEST_F(EnergyTest, HalvingFrequencyKeepsDynamicEnergy)
+{
+    // Same cycles at half frequency: dynamic power halves but the
+    // run takes twice as long — dynamic energy unchanged, while
+    // leakage and SoC energy double with the runtime.
+    const auto run = cleanRun(980, 2400);
+    const EnergyBreakdown full =
+        accountant_.scaledEnergy(4, run, 980, 2400, 43.0);
+    const EnergyBreakdown half =
+        accountant_.scaledEnergy(4, run, 980, 1200, 43.0);
+    EXPECT_NEAR(half.coreDynamic, full.coreDynamic, 1e-9);
+    EXPECT_NEAR(half.coreLeakage, 2.0 * full.coreLeakage, 1e-9);
+    EXPECT_NEAR(half.soc, 2.0 * full.soc, 1e-9);
+}
+
+TEST_F(EnergyTest, ScaledAtSamePointEqualsRunEnergy)
+{
+    const auto run = cleanRun(905, 2400);
+    const EnergyBreakdown direct =
+        accountant_.runEnergy(4, run, 43.0);
+    const EnergyBreakdown scaled =
+        accountant_.scaledEnergy(4, run, 905, 2400, 43.0);
+    EXPECT_DOUBLE_EQ(direct.total(), scaled.total());
+}
+
+TEST_F(EnergyTest, LeakyCoreCostsMore)
+{
+    // Compare against a TFF (leaky) chip's accounting of the same
+    // run.
+    const sim::ProcessVariation tff(params_, sim::ChipCorner::TFF,
+                                    1);
+    const EnergyAccountant leaky(PowerModel{}, tff, 950);
+    const auto run = cleanRun(980, 2400);
+    EXPECT_GT(leaky.runEnergy(4, run, 43.0).coreLeakage,
+              accountant_.runEnergy(4, run, 43.0).coreLeakage);
+}
+
+} // namespace
+} // namespace vmargin::power

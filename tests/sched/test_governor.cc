@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the severity-predicting voltage governor. Uses
+ * hand-trained predictors over a synthetic severity law so the
+ * expected decisions are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/governor.hh"
+
+namespace vmargin::sched
+{
+namespace
+{
+
+/**
+ * Train a predictor on sev = slope * (vmin - v) for v < vmin, over
+ * a single dummy counter feature (always 1.0) plus the voltage.
+ */
+LinearPredictor
+predictorWithVmin(double vmin, double slope = 0.4)
+{
+    std::vector<stats::Vector> rows;
+    stats::Vector y;
+    for (double v = vmin - 40; v <= vmin + 20; v += 5) {
+        rows.push_back({1.0, v});
+        y.push_back(std::max(0.0, slope * (vmin - v)));
+    }
+    LinearPredictor predictor;
+    predictor.fit(stats::Matrix::fromRows(rows), y, 2);
+    return predictor;
+}
+
+CoreObservation
+observe(CoreId core)
+{
+    CoreObservation obs;
+    obs.core = core;
+    obs.counterFeatures = {1.0};
+    return obs;
+}
+
+TEST(Governor, EmptyObservationsStayNominal)
+{
+    const VoltageGovernor governor;
+    EXPECT_EQ(governor.decide({}), 980);
+}
+
+TEST(Governor, UnmodelledCorePinsNominal)
+{
+    VoltageGovernor governor;
+    governor.setPredictor(0, predictorWithVmin(900));
+    EXPECT_EQ(governor.decide({observe(0), observe(3)}), 980);
+}
+
+TEST(Governor, PredictSeverityAppendsVoltage)
+{
+    VoltageGovernor governor;
+    governor.setPredictor(0, predictorWithVmin(900, 0.5));
+    EXPECT_NEAR(governor.predictSeverity(observe(0), 880), 10.0,
+                1.5);
+    EXPECT_NEAR(governor.predictSeverity(observe(0), 910), 0.0,
+                2.6);
+}
+
+TEST(Governor, DecisionTracksTheWeakestCore)
+{
+    GovernorConfig config;
+    config.guardSteps = 0;
+    VoltageGovernor governor(config);
+    governor.setPredictor(0, predictorWithVmin(905));
+    governor.setPredictor(4, predictorWithVmin(875));
+    const MilliVolt both = governor.decide({observe(0), observe(4)});
+    const MilliVolt robust_only = governor.decide({observe(4)});
+    EXPECT_LT(robust_only, both);
+    // The shared domain must satisfy core 0's ~905 mV demand.
+    EXPECT_GE(both, 895);
+    EXPECT_LE(both, 915);
+    EXPECT_GE(robust_only, 865);
+    EXPECT_LE(robust_only, 885);
+}
+
+TEST(Governor, GuardStepsRaiseTheDecision)
+{
+    GovernorConfig tight;
+    tight.guardSteps = 0;
+    GovernorConfig guarded;
+    guarded.guardSteps = 3;
+    VoltageGovernor a(tight), b(guarded);
+    a.setPredictor(0, predictorWithVmin(900));
+    b.setPredictor(0, predictorWithVmin(900));
+    EXPECT_EQ(b.decide({observe(0)}),
+              a.decide({observe(0)}) + 15);
+}
+
+TEST(Governor, ToleranceUnlocksDeeperUndervolt)
+{
+    GovernorConfig strict;
+    strict.guardSteps = 0;
+    GovernorConfig tolerant = strict;
+    tolerant.severityTolerance = 4.0; // SDC-tolerant application
+    VoltageGovernor a(strict), b(tolerant);
+    a.setPredictor(0, predictorWithVmin(900, 0.4));
+    b.setPredictor(0, predictorWithVmin(900, 0.4));
+    // 4 severity units at 0.4/mV = 10 mV deeper.
+    EXPECT_EQ(b.decide({observe(0)}), a.decide({observe(0)}) - 10);
+}
+
+TEST(Governor, NeverBelowFloorOrAboveNominal)
+{
+    GovernorConfig config;
+    config.floor = 900;
+    config.guardSteps = 0;
+    VoltageGovernor governor(config);
+    governor.setPredictor(0, predictorWithVmin(700));
+    EXPECT_GE(governor.decide({observe(0)}), 900);
+
+    GovernorConfig guarded;
+    guarded.guardSteps = 10;
+    VoltageGovernor high(guarded);
+    high.setPredictor(0, predictorWithVmin(979));
+    EXPECT_LE(high.decide({observe(0)}), 980);
+}
+
+TEST(Governor, DeathOnUntrainedPredictor)
+{
+    VoltageGovernor governor;
+    EXPECT_DEATH(governor.setPredictor(0, LinearPredictor{}),
+                 "untrained");
+}
+
+TEST(Governor, DeathOnUnknownCoreQuery)
+{
+    const VoltageGovernor governor;
+    EXPECT_DEATH(governor.predictSeverity(observe(0), 900),
+                 "no predictor");
+}
+
+} // namespace
+} // namespace vmargin::sched

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the X-Gene 2 cache topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_hierarchy.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+TEST(Hierarchy, TopologyMatchesFigure1)
+{
+    CacheHierarchy h{XGene2Params{}};
+    // Per-core parity L1s.
+    for (CoreId c = 0; c < 8; ++c) {
+        EXPECT_EQ(h.l1i(c).protection(), Protection::Parity);
+        EXPECT_EQ(h.l1d(c).protection(), Protection::Parity);
+        EXPECT_EQ(h.l1d(c).sizeKb(), 32);
+    }
+    // Per-PMD ECC L2, shared ECC L3.
+    for (PmdId p = 0; p < 4; ++p) {
+        EXPECT_EQ(h.l2(p).protection(), Protection::Ecc);
+        EXPECT_EQ(h.l2(p).sizeKb(), 256);
+    }
+    EXPECT_EQ(h.l3().protection(), Protection::Ecc);
+    EXPECT_EQ(h.l3().sizeKb(), 8192);
+}
+
+TEST(Hierarchy, MissWalksAllLevels)
+{
+    CacheHierarchy h{XGene2Params{}};
+    const HierarchyAccess a = h.dataAccess(0, 0x1000, false);
+    EXPECT_TRUE(a.l1Miss);
+    EXPECT_TRUE(a.l2Miss);
+    EXPECT_TRUE(a.l3Miss);
+    // Second touch hits in L1: no lower-level traffic.
+    const uint64_t l2_before = h.l2(0).stats().accesses;
+    const HierarchyAccess b = h.dataAccess(0, 0x1000, false);
+    EXPECT_FALSE(b.l1Miss);
+    EXPECT_EQ(h.l2(0).stats().accesses, l2_before);
+}
+
+TEST(Hierarchy, PmdPairSharesL2)
+{
+    CacheHierarchy h{XGene2Params{}};
+    h.dataAccess(0, 0x2000, false);
+    h.dataAccess(1, 0x3000, false);
+    // Both cores of PMD 0 hit the same L2 instance.
+    EXPECT_EQ(h.l2(0).stats().accesses, 2u);
+    EXPECT_EQ(h.l2(1).stats().accesses, 0u);
+    // Cores 2 and 3 use the next L2.
+    h.dataAccess(2, 0x2000, false);
+    EXPECT_EQ(h.l2(1).stats().accesses, 1u);
+}
+
+TEST(Hierarchy, CoresDoNotAliasInSharedLevels)
+{
+    CacheHierarchy h{XGene2Params{}};
+    h.dataAccess(0, 0x4000, false);
+    // Same program address from another core must still miss: the
+    // model keeps per-core address spaces disjoint.
+    const HierarchyAccess a = h.dataAccess(4, 0x4000, false);
+    EXPECT_TRUE(a.l3Miss);
+}
+
+TEST(Hierarchy, L1EvictionWritesBackIntoL2)
+{
+    XGene2Params params;
+    CacheHierarchy h(params);
+    // Fill one L1D set (8 ways) with dirty lines, then evict.
+    const uint64_t set_stride =
+        static_cast<uint64_t>(params.l1dKb) * 1024 /
+        static_cast<uint64_t>(params.l1dAssoc);
+    for (int i = 0; i <= params.l1dAssoc; ++i)
+        h.dataAccess(0, static_cast<uint64_t>(i) * set_stride, true);
+    EXPECT_GE(h.l1d(0).stats().writebacks, 1u);
+}
+
+TEST(Hierarchy, InstrFetchUsesInstructionSide)
+{
+    CacheHierarchy h{XGene2Params{}};
+    const HierarchyAccess a = h.instrFetch(0, 0x100);
+    EXPECT_TRUE(a.l1Miss);
+    EXPECT_EQ(h.l1i(0).stats().accesses, 1u);
+    EXPECT_EQ(h.l1d(0).stats().accesses, 0u);
+    EXPECT_TRUE(h.instrFetch(0, 0x104).l1Miss == false);
+}
+
+TEST(Hierarchy, CodeAndDataDisjoint)
+{
+    CacheHierarchy h{XGene2Params{}};
+    h.dataAccess(0, 0x100, false);
+    // Same numeric address on the fetch path must not hit the data
+    // line in shared levels.
+    const HierarchyAccess a = h.instrFetch(0, 0x100);
+    EXPECT_TRUE(a.l3Miss);
+}
+
+TEST(Hierarchy, InvalidateAllColdStarts)
+{
+    CacheHierarchy h{XGene2Params{}};
+    h.dataAccess(3, 0x8000, false);
+    h.invalidateAll();
+    EXPECT_TRUE(h.dataAccess(3, 0x8000, false).l1Miss);
+}
+
+TEST(Hierarchy, ResetStatsZeroesEverything)
+{
+    CacheHierarchy h{XGene2Params{}};
+    h.dataAccess(0, 0x1, false);
+    h.instrFetch(5, 0x2);
+    h.resetStats();
+    EXPECT_EQ(h.l1d(0).stats().accesses, 0u);
+    EXPECT_EQ(h.l1i(5).stats().accesses, 0u);
+    EXPECT_EQ(h.l3().stats().accesses, 0u);
+}
+
+TEST(Hierarchy, DeathOnBadIds)
+{
+    CacheHierarchy h{XGene2Params{}};
+    EXPECT_DEATH(h.dataAccess(8, 0, false), "out of range");
+    EXPECT_DEATH(h.l2(4), "out of range");
+}
+
+} // namespace
+} // namespace vmargin::sim

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit and property tests for the core execution engine: outcome
+ * semantics, determinism, PMU consistency and the voltage-dependent
+ * fault behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_hierarchy.hh"
+#include "sim/core.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+class CoreRunTest : public ::testing::Test
+{
+  protected:
+    CoreRunTest() : caches_(params_), core_(0, params_, &caches_)
+    {
+    }
+
+    RunResult
+    runAt(MilliVolt v, const OnsetSet &onsets, Seed seed = 1,
+          const std::string &workload = "bwaves/ref")
+    {
+        ExecutionConfig config;
+        config.voltage = v;
+        config.seed = seed;
+        config.maxEpochs = 20;
+        return core_.run(wl::findWorkload(workload), onsets, config);
+    }
+
+    /** Onsets far below any tested voltage: nothing ever fails. */
+    static OnsetSet
+    safeOnsets()
+    {
+        OnsetSet o;
+        o.sdc = 600;
+        o.ce = 595;
+        o.ue = 590;
+        o.ac = 590;
+        o.sc = 580;
+        return o;
+    }
+
+    XGene2Params params_;
+    CacheHierarchy caches_;
+    Core core_;
+};
+
+TEST_F(CoreRunTest, NominalRunIsClean)
+{
+    const RunResult r = runAt(980, safeOnsets());
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.outputMatches);
+    EXPECT_FALSE(r.systemCrashed);
+    EXPECT_FALSE(r.applicationCrashed);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.sdcEvents, 0u);
+    EXPECT_EQ(r.correctedErrors, 0u);
+    EXPECT_FALSE(r.abnormal());
+    EXPECT_EQ(r.epochsExecuted, 20u);
+}
+
+TEST_F(CoreRunTest, DeterministicInSeed)
+{
+    OnsetSet onsets = safeOnsets();
+    onsets.sdc = 900;
+    onsets.ce = 895;
+    // Determinism holds for identical initial state; the cache
+    // warm-up from run a would otherwise leak into run b.
+    const RunResult a = runAt(890, onsets, 42);
+    caches_.invalidateAll();
+    const RunResult b = runAt(890, onsets, 42);
+    EXPECT_EQ(a.sdcEvents, b.sdcEvents);
+    EXPECT_EQ(a.correctedErrors, b.correctedErrors);
+    EXPECT_EQ(a.epochsExecuted, b.epochsExecuted);
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST_F(CoreRunTest, SeedsProduceDifferentFaults)
+{
+    OnsetSet onsets = safeOnsets();
+    onsets.sdc = 900;
+    const RunResult a = runAt(898, onsets, 1);
+    bool any_diff = false;
+    for (Seed s = 2; s < 12 && !any_diff; ++s)
+        any_diff = runAt(898, onsets, s).sdcEvents != a.sdcEvents;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(CoreRunTest, DeepBelowSdcOnsetCorruptsOutput)
+{
+    OnsetSet onsets = safeOnsets();
+    onsets.sdc = 920;
+    const RunResult r = runAt(905, onsets);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.sdcEvents, 0u);
+    EXPECT_FALSE(r.outputMatches);
+    EXPECT_TRUE(r.abnormal());
+}
+
+TEST_F(CoreRunTest, BelowCeOnsetReportsEdacRecords)
+{
+    OnsetSet onsets = safeOnsets();
+    onsets.ce = 920;
+    const RunResult r = runAt(905, onsets);
+    EXPECT_GT(r.correctedErrors, 0u);
+    EXPECT_FALSE(r.errors.empty());
+    uint64_t total = 0;
+    for (const auto &record : r.errors) {
+        EXPECT_EQ(record.core, 0);
+        if (record.kind == ErrorKind::Corrected)
+            total += record.count;
+    }
+    EXPECT_EQ(total, r.correctedErrors);
+}
+
+TEST_F(CoreRunTest, BelowScOnsetCrashesAndTruncates)
+{
+    OnsetSet onsets;
+    onsets.sdc = 940;
+    onsets.ce = 935;
+    onsets.ue = 930;
+    onsets.ac = 930;
+    onsets.sc = 925;
+    const RunResult r = runAt(905, onsets);
+    EXPECT_TRUE(r.systemCrashed);
+    EXPECT_FALSE(r.completed);
+    EXPECT_LT(r.epochsExecuted, 20u);
+    // A hung machine loses the run's logs (Figure 5's clean 16.0).
+    EXPECT_EQ(r.sdcEvents, 0u);
+    EXPECT_EQ(r.correctedErrors, 0u);
+    EXPECT_TRUE(r.errors.empty());
+}
+
+TEST_F(CoreRunTest, ApplicationCrashHasNonZeroExit)
+{
+    OnsetSet onsets = safeOnsets();
+    onsets.ac = 930; // only AC reachable
+    const RunResult r = runAt(905, onsets, 3);
+    ASSERT_TRUE(r.applicationCrashed);
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_FALSE(r.completed);
+    EXPECT_FALSE(r.systemCrashed);
+}
+
+TEST_F(CoreRunTest, CountersConsistent)
+{
+    const RunResult r = runAt(980, safeOnsets());
+    const auto at = [&](PmuEvent e) {
+        return r.counters[static_cast<size_t>(e)];
+    };
+    EXPECT_GT(at(PmuEvent::INST_RETIRED), 0u);
+    EXPECT_GT(at(PmuEvent::CPU_CYCLES), at(PmuEvent::INST_RETIRED) / 4)
+        << "IPC cannot exceed the 4-wide issue width";
+    EXPECT_EQ(at(PmuEvent::MEM_ACCESS),
+              at(PmuEvent::MEM_ACCESS_RD) +
+                  at(PmuEvent::MEM_ACCESS_WR));
+    EXPECT_LE(at(PmuEvent::BR_MIS_PRED), at(PmuEvent::BR_RETIRED));
+    EXPECT_LE(at(PmuEvent::DISPATCH_STALL_CYCLES),
+              at(PmuEvent::CPU_CYCLES));
+    EXPECT_LE(at(PmuEvent::L1D_CACHE_REFILL),
+              at(PmuEvent::L1D_CACHE));
+    EXPECT_LE(at(PmuEvent::L2D_CACHE_REFILL),
+              at(PmuEvent::L2D_CACHE) + 1);
+    EXPECT_EQ(at(PmuEvent::MEMORY_ERROR), 0u);
+}
+
+TEST_F(CoreRunTest, SpatialLocalityDrivesL1HitRatio)
+{
+    // Sequential streamers (lbm, spatial 0.97) mostly stay inside
+    // the current cache line; pointer chasers (mcf, spatial 0.18)
+    // touch a new line almost every access. The functional cache
+    // model must reproduce that ordering.
+    auto l1_miss_ratio = [&](const std::string &name, Seed seed) {
+        caches_.invalidateAll();
+        const RunResult r = runAt(980, safeOnsets(), seed, name);
+        const double refills = static_cast<double>(
+            r.counters[static_cast<size_t>(
+                PmuEvent::L1D_CACHE_REFILL)]);
+        const double accesses = static_cast<double>(
+            r.counters[static_cast<size_t>(PmuEvent::L1D_CACHE)]);
+        return refills / accesses;
+    };
+    EXPECT_LT(l1_miss_ratio("lbm/ref", 5),
+              l1_miss_ratio("mcf/ref", 6) * 0.5);
+}
+
+TEST_F(CoreRunTest, RuntimeScalesWithFrequency)
+{
+    ExecutionConfig slow;
+    slow.voltage = 980;
+    slow.frequency = 1200;
+    slow.speedClass = SpeedClass::Half;
+    slow.seed = 9;
+    slow.maxEpochs = 10;
+    ExecutionConfig fast = slow;
+    fast.frequency = 2400;
+    fast.speedClass = SpeedClass::Full;
+    const auto w = wl::findWorkload("gromacs/ref");
+    const RunResult rs = core_.run(w, safeOnsets(), slow);
+    const RunResult rf = core_.run(w, safeOnsets(), fast);
+    EXPECT_NEAR(rs.simulatedSeconds / rf.simulatedSeconds, 2.0,
+                0.02);
+}
+
+TEST_F(CoreRunTest, ActivityFactorInRange)
+{
+    for (const char *name : {"mcf/ref", "namd/ref", "gcc/166"}) {
+        const RunResult r = runAt(980, safeOnsets(), 11, name);
+        EXPECT_GT(r.activityFactor, 0.2) << name;
+        EXPECT_LE(r.activityFactor, 1.0) << name;
+    }
+    // Compute-dense code toggles more than a stalled one.
+    const RunResult namd = runAt(980, safeOnsets(), 12, "namd/ref");
+    const RunResult mcf = runAt(980, safeOnsets(), 12, "mcf/ref");
+    EXPECT_GT(namd.activityFactor, mcf.activityFactor);
+}
+
+TEST_F(CoreRunTest, DroopEatsTimingMargin)
+{
+    // With a droopy PDN, activity swings push the effective failure
+    // thresholds up: a voltage that is safe on a stiff PDN starts
+    // misbehaving.
+    OnsetSet onsets = safeOnsets();
+    onsets.sdc = 893;
+    auto abnormal_runs = [&](double droop_sensitivity) {
+        int abnormal = 0;
+        for (Seed s = 0; s < 20; ++s) {
+            ExecutionConfig config;
+            config.voltage = 905;
+            config.seed = 700 + s;
+            config.maxEpochs = 10;
+            config.droopSensitivityMv = droop_sensitivity;
+            abnormal += core_.run(wl::findWorkload("bwaves/ref"),
+                                  onsets, config)
+                            .abnormal();
+        }
+        return abnormal;
+    };
+    EXPECT_EQ(abnormal_runs(0.0), 0);
+    EXPECT_GT(abnormal_runs(400.0), 5);
+}
+
+TEST_F(CoreRunTest, HeatEatsTimingMargin)
+{
+    // The same voltage that is safe at the 43 C setpoint misbehaves
+    // on a hot package (the paper pins 43 C for exactly this
+    // reason). Onset 893 + ~0.45 mV/C * 37 C = ~910 mV effective.
+    OnsetSet onsets = safeOnsets();
+    onsets.sdc = 893;
+    auto abnormal_runs = [&](Celsius temperature) {
+        int abnormal = 0;
+        for (Seed s = 0; s < 20; ++s) {
+            ExecutionConfig config;
+            config.voltage = 905;
+            config.seed = 500 + s;
+            config.maxEpochs = 10;
+            config.temperature = temperature;
+            abnormal += core_.run(wl::findWorkload("bwaves/ref"),
+                                  onsets, config)
+                            .abnormal();
+        }
+        return abnormal;
+    };
+    EXPECT_EQ(abnormal_runs(43.0), 0);
+    EXPECT_GT(abnormal_runs(80.0), 10);
+}
+
+/** Property: the probability of abnormal behaviour is monotone in
+ *  undervolt depth (sampled over many seeds). */
+class VoltageMonotonicityTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(VoltageMonotonicityTest, AbnormalRateGrowsAsVoltageDrops)
+{
+    XGene2Params params;
+    CacheHierarchy caches(params);
+    Core core(0, params, &caches);
+    const auto workload = wl::findWorkload(GetParam());
+    OnsetSet onsets;
+    onsets.sdc = 900;
+    onsets.ce = 896;
+    onsets.ue = 892;
+    onsets.ac = 888;
+    onsets.sc = 880;
+
+    auto abnormal_rate = [&](MilliVolt v) {
+        int abnormal = 0;
+        for (Seed s = 0; s < 20; ++s) {
+            ExecutionConfig config;
+            config.voltage = v;
+            config.seed = 1000 + s;
+            config.maxEpochs = 10;
+            abnormal += core.run(workload, onsets, config).abnormal();
+        }
+        return abnormal;
+    };
+
+    const int high = abnormal_rate(915); // ~5 sigma above onset
+    const int mid = abnormal_rate(897);  // just below onset
+    const int low = abnormal_rate(875);  // below the crash onset
+    EXPECT_EQ(high, 0);
+    EXPECT_GT(mid, 0);
+    EXPECT_GE(low, mid);
+    EXPECT_EQ(low, 20) << "below the crash point every run fails";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, VoltageMonotonicityTest,
+                         ::testing::Values("bwaves/ref", "mcf/ref",
+                                           "namd/ref", "gcc/166"));
+
+} // namespace
+} // namespace vmargin::sim

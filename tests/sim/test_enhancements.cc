@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the section 6 design-enhancement variants of the
+ * margin model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/margin_model.hh"
+#include "sim/platform.hh"
+#include "workloads/selftest.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+class EnhancementsTest : public ::testing::Test
+{
+  protected:
+    EnhancementsTest() : variation_(params_, ChipCorner::TTT, 1)
+    {
+    }
+
+    OnsetSet
+    onsetsWith(const DesignEnhancements &enhancements,
+               const std::string &workload = "bwaves/ref",
+               CoreId core = 0)
+    {
+        const MarginModel model(params_, variation_, enhancements);
+        return model.onsets(core, wl::findWorkload(workload),
+                            SpeedClass::Full);
+    }
+
+    XGene2Params params_;
+    ProcessVariation variation_;
+};
+
+TEST_F(EnhancementsTest, DefaultIsNoEnhancement)
+{
+    const DesignEnhancements none;
+    EXPECT_FALSE(none.any());
+    const auto baseline = onsetsWith({});
+    const MarginModel plain(params_, variation_);
+    const auto direct = plain.onsets(
+        0, wl::findWorkload("bwaves/ref"), SpeedClass::Full);
+    EXPECT_EQ(baseline.sdc, direct.sdc);
+    EXPECT_EQ(baseline.sc, direct.sc);
+}
+
+TEST_F(EnhancementsTest, StrongerEccFlipsTheOrdering)
+{
+    DesignEnhancements ecc;
+    ecc.strongerEcc = true;
+    EXPECT_TRUE(ecc.any());
+    const auto baseline = onsetsWith({});
+    const auto enhanced = onsetsWith(ecc);
+
+    // The defining property: corrected errors now come FIRST
+    // (Itanium-style), above the reduced SDC onset.
+    EXPECT_GT(enhanced.ce, enhanced.sdc);
+    EXPECT_EQ(enhanced.highest(), enhanced.ce);
+    // And the SDC onset itself moved down (errors get corrected).
+    EXPECT_LT(enhanced.sdc, baseline.sdc);
+}
+
+TEST_F(EnhancementsTest, StrongerEccHoldsForEveryWorkloadAndCore)
+{
+    DesignEnhancements ecc;
+    ecc.strongerEcc = true;
+    const MarginModel model(params_, variation_, ecc);
+    for (const auto &w : wl::headlineSuite()) {
+        for (CoreId c = 0; c < 8; ++c) {
+            const auto onsets =
+                model.onsets(c, w, SpeedClass::Full);
+            EXPECT_GT(onsets.ce, onsets.sdc) << w.id();
+        }
+    }
+}
+
+TEST_F(EnhancementsTest, AdaptiveClockingShiftsTimingOnsetsDown)
+{
+    DesignEnhancements adaptive;
+    adaptive.adaptiveClocking = true;
+    adaptive.adaptiveClockingGainMv = 20;
+    const auto baseline = onsetsWith({});
+    const auto enhanced = onsetsWith(adaptive);
+    EXPECT_EQ(enhanced.sdc, baseline.sdc - 20);
+    EXPECT_EQ(enhanced.ce, baseline.ce - 20);
+    EXPECT_EQ(enhanced.ac, baseline.ac - 20);
+    EXPECT_EQ(enhanced.sc, baseline.sc - 20);
+}
+
+TEST_F(EnhancementsTest, AdaptiveClockingDoesNotMoveSramRetention)
+{
+    // Cache self-tests end at the SRAM hard limit, which a clock
+    // stretcher cannot help.
+    DesignEnhancements adaptive;
+    adaptive.adaptiveClocking = true;
+    const MarginModel plain(params_, variation_);
+    const MarginModel stretched(params_, variation_, adaptive);
+    const auto base = plain.onsets(
+        0, wl::cacheSelfTest(wl::CacheLevel::L2), SpeedClass::Full);
+    const auto enh = stretched.onsets(
+        0, wl::cacheSelfTest(wl::CacheLevel::L2), SpeedClass::Full);
+    EXPECT_EQ(enh.sc, base.sc);
+    EXPECT_LT(enh.sdc, base.sdc);
+}
+
+TEST_F(EnhancementsTest, CombinedVariantsCompose)
+{
+    DesignEnhancements both;
+    both.strongerEcc = true;
+    both.adaptiveClocking = true;
+    const auto enhanced = onsetsWith(both);
+    const auto baseline = onsetsWith({});
+    EXPECT_GT(enhanced.ce, enhanced.sdc);
+    EXPECT_LT(enhanced.sdc,
+              baseline.sdc - both.adaptiveClockingGainMv);
+}
+
+TEST_F(EnhancementsTest, HalfSpeedUnaffected)
+{
+    DesignEnhancements both;
+    both.strongerEcc = true;
+    both.adaptiveClocking = true;
+    const MarginModel plain(params_, variation_);
+    const MarginModel enhanced(params_, variation_, both);
+    const auto w = wl::findWorkload("bwaves/ref");
+    EXPECT_EQ(plain.onsets(0, w, SpeedClass::Half).sc,
+              enhanced.onsets(0, w, SpeedClass::Half).sc);
+}
+
+TEST_F(EnhancementsTest, PlumbedThroughChipAndPlatform)
+{
+    DesignEnhancements ecc;
+    ecc.strongerEcc = true;
+    Platform platform(params_, ChipCorner::TTT, 1, ecc);
+    const auto onsets = platform.chip().margins().onsets(
+        0, wl::findWorkload("bwaves/ref"), SpeedClass::Full);
+    EXPECT_GT(onsets.ce, onsets.sdc)
+        << "enhancements must reach the chip's margin model";
+}
+
+} // namespace
+} // namespace vmargin::sim

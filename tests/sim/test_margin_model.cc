@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit and property tests for the ground-truth margin model. These
+ * encode the paper's key characterization findings as invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/margin_model.hh"
+#include "workloads/selftest.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+class MarginModelTest : public ::testing::Test
+{
+  protected:
+    MarginModelTest()
+        : variation_(params_, ChipCorner::TTT, 1),
+          model_(params_, variation_)
+    {
+    }
+
+    XGene2Params params_;
+    ProcessVariation variation_;
+    MarginModel model_;
+};
+
+TEST_F(MarginModelTest, SdcIsAlwaysTheHighestOnset)
+{
+    // THE key finding of section 3.4: SDCs appear at higher voltage
+    // than corrected errors alone on every benchmark — the opposite
+    // of the Itanium studies.
+    for (const auto &w : wl::fullSuite()) {
+        for (CoreId c = 0; c < 8; ++c) {
+            const auto onsets =
+                model_.onsets(c, w, SpeedClass::Full);
+            EXPECT_EQ(onsets.highest(), onsets.sdc) << w.id();
+            EXPECT_LT(onsets.ce, onsets.sdc) << w.id();
+            EXPECT_LT(onsets.ue, onsets.ce) << w.id();
+            EXPECT_LT(onsets.sc, onsets.sdc) << w.id();
+        }
+    }
+}
+
+TEST_F(MarginModelTest, CrashClosesTheBand)
+{
+    for (const auto &w : wl::headlineSuite()) {
+        const auto onsets = model_.onsets(0, w, SpeedClass::Full);
+        EXPECT_EQ(onsets.sc, onsets.sdc - model_.unsafeWidth(w));
+        EXPECT_LE(onsets.ac, onsets.sdc - 9);
+        EXPECT_GE(onsets.ac, onsets.sc);
+    }
+}
+
+TEST_F(MarginModelTest, HalfSpeedIsUniformAndBandless)
+{
+    // Paper: at 1.2 GHz every core and benchmark is safe down to
+    // 760 mV and crashes directly below — no unsafe region.
+    for (const auto &w : wl::headlineSuite()) {
+        for (CoreId c = 0; c < 8; ++c) {
+            const auto onsets =
+                model_.onsets(c, w, SpeedClass::Half);
+            EXPECT_EQ(onsets.sc, variation_.halfSpeedCrashMv());
+            EXPECT_EQ(onsets.highest(), onsets.sc);
+            EXPECT_LT(onsets.sdc, onsets.sc);
+        }
+    }
+}
+
+TEST_F(MarginModelTest, RobustCoreBandMatchesFigure3)
+{
+    // TTT at 2.4 GHz, most robust core: SDC onsets must put Vmin in
+    // the paper's 860-885 mV band.
+    const CoreId robust = variation_.mostRobustCore();
+    MilliVolt lo = 10000, hi = 0;
+    for (const auto &w : wl::headlineSuite()) {
+        const auto onsets =
+            model_.onsets(robust, w, SpeedClass::Full);
+        lo = std::min(lo, onsets.sdc);
+        hi = std::max(hi, onsets.sdc);
+    }
+    EXPECT_GE(lo, 845);
+    EXPECT_LE(hi, 882);
+    EXPECT_GE(hi - lo, 15) << "workload variation too small";
+}
+
+TEST_F(MarginModelTest, WorkloadOrderingIsCoreIndependent)
+{
+    // "Workload-to-workload variation remains the same across
+    // chips/cores": onset deltas between two workloads must not
+    // depend on the core.
+    const auto a = wl::findWorkload("mcf/ref");
+    const auto b = wl::findWorkload("namd/ref");
+    const MilliVolt delta0 =
+        model_.onsets(0, b, SpeedClass::Full).sdc -
+        model_.onsets(0, a, SpeedClass::Full).sdc;
+    for (CoreId c = 1; c < 8; ++c) {
+        const MilliVolt delta =
+            model_.onsets(c, b, SpeedClass::Full).sdc -
+            model_.onsets(c, a, SpeedClass::Full).sdc;
+        EXPECT_EQ(delta, delta0);
+    }
+}
+
+TEST_F(MarginModelTest, StressIsBounded)
+{
+    for (const auto &w : wl::fullSuite()) {
+        const double s = MarginModel::pipelineStress(w);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST_F(MarginModelTest, ComputeBoundStressesMoreThanMemoryBound)
+{
+    const double mcf =
+        MarginModel::pipelineStress(wl::findWorkload("mcf/ref"));
+    const double namd =
+        MarginModel::pipelineStress(wl::findWorkload("namd/ref"));
+    const double gromacs = MarginModel::pipelineStress(
+        wl::findWorkload("gromacs/ref"));
+    EXPECT_LT(mcf, namd);
+    EXPECT_LT(mcf, gromacs);
+}
+
+TEST_F(MarginModelTest, SelfTestsSitAtTheExtremes)
+{
+    // Section 3.4: ALU/FPU tests stress timing paths far beyond any
+    // SPEC workload; cache tests barely stress them at all.
+    double spec_lo = 1.0, spec_hi = 0.0;
+    for (const auto &w : wl::fullSuite()) {
+        spec_lo = std::min(spec_lo, MarginModel::pipelineStress(w));
+        spec_hi = std::max(spec_hi, MarginModel::pipelineStress(w));
+    }
+    EXPECT_GT(MarginModel::pipelineStress(wl::aluSelfTest()),
+              spec_hi);
+    EXPECT_GT(MarginModel::pipelineStress(wl::fpuSelfTest()),
+              spec_hi);
+    EXPECT_LT(MarginModel::pipelineStress(
+                  wl::cacheSelfTest(wl::CacheLevel::L1D)),
+              spec_lo);
+}
+
+TEST_F(MarginModelTest, CacheTestsCrashFarBelowAluSdcOnset)
+{
+    // The measured justification for SDC-first behaviour: ALU/FPU
+    // tests show SDCs at voltages where the cache tests still run;
+    // the cache tests only die when the arrays give out, much lower.
+    const auto alu =
+        model_.onsets(0, wl::aluSelfTest(), SpeedClass::Full);
+    const auto cache = model_.onsets(
+        0, wl::cacheSelfTest(wl::CacheLevel::L2), SpeedClass::Full);
+    EXPECT_GT(alu.sdc, cache.sc + 60);
+    EXPECT_EQ(cache.sc, variation_.core(0).sramHardMv);
+}
+
+TEST_F(MarginModelTest, FpuHoldsTheLongestPaths)
+{
+    const auto alu =
+        model_.onsets(0, wl::aluSelfTest(), SpeedClass::Full);
+    const auto fpu =
+        model_.onsets(0, wl::fpuSelfTest(), SpeedClass::Full);
+    EXPECT_GT(fpu.sdc, alu.sdc);
+}
+
+TEST_F(MarginModelTest, UnsafeWidthShape)
+{
+    // Streaming FP codes (bwaves) degrade gradually; pointer-chasing
+    // mcf collapses quickly (Figures 4/5).
+    const MilliVolt bwaves =
+        MarginModel::unsafeWidth(wl::findWorkload("bwaves/ref"));
+    const MilliVolt mcf =
+        MarginModel::unsafeWidth(wl::findWorkload("mcf/ref"));
+    EXPECT_GT(bwaves, mcf + 8);
+    for (const auto &w : wl::fullSuite()) {
+        const MilliVolt width = MarginModel::unsafeWidth(w);
+        EXPECT_GE(width, 8);
+        EXPECT_LE(width, 45);
+    }
+}
+
+/** Property sweep: onset ordering holds on every chip corner,
+ *  serial and core for the whole suite. */
+class MarginPropertyTest
+    : public ::testing::TestWithParam<std::tuple<ChipCorner, int>>
+{
+};
+
+TEST_P(MarginPropertyTest, OrderingInvariants)
+{
+    const auto [corner, serial] = GetParam();
+    const XGene2Params params;
+    const ProcessVariation variation(
+        params, corner, static_cast<uint32_t>(serial));
+    const MarginModel model(params, variation);
+    for (const auto &w : wl::headlineSuite()) {
+        for (CoreId c = 0; c < 8; ++c) {
+            const auto full = model.onsets(c, w, SpeedClass::Full);
+            const auto half = model.onsets(c, w, SpeedClass::Half);
+            EXPECT_GT(full.sdc, full.ce);
+            EXPECT_GT(full.ce, full.ue);
+            EXPECT_GE(full.ac, full.sc);
+            EXPECT_GT(full.sdc, full.sc);
+            // Slowing the clock must never raise the failure point.
+            EXPECT_LT(half.highest(), full.sc);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChips, MarginPropertyTest,
+    ::testing::Combine(::testing::Values(ChipCorner::TTT,
+                                         ChipCorner::TFF,
+                                         ChipCorner::TSS),
+                       ::testing::Values(1, 2, 7)));
+
+} // namespace
+} // namespace vmargin::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for platform parameters (paper Table 2 invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/param.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+TEST(Params, Table2Defaults)
+{
+    const XGene2Params p;
+    EXPECT_EQ(p.numCores, 8);
+    EXPECT_EQ(p.numPmds, 4);
+    EXPECT_EQ(p.coresPerPmd, 2);
+    EXPECT_EQ(p.nominalPmdVoltage, 980);
+    EXPECT_EQ(p.nominalSocVoltage, 950);
+    EXPECT_EQ(p.voltageStepSize, 5);
+    EXPECT_EQ(p.maxFrequency, 2400);
+    EXPECT_EQ(p.minFrequency, 300);
+    EXPECT_EQ(p.frequencyStep, 300);
+    EXPECT_EQ(p.issueWidth, 4);
+    EXPECT_EQ(p.l1iKb, 32);
+    EXPECT_EQ(p.l1dKb, 32);
+    EXPECT_EQ(p.l2Kb, 256);
+    EXPECT_EQ(p.l3Kb, 8192);
+    EXPECT_DOUBLE_EQ(p.maxTdpWatts, 35.0);
+    EXPECT_EQ(p.technologyNm, 28);
+    p.validate();
+}
+
+TEST(Params, PmdOfCore)
+{
+    const XGene2Params p;
+    EXPECT_EQ(p.pmdOfCore(0), 0);
+    EXPECT_EQ(p.pmdOfCore(1), 0);
+    EXPECT_EQ(p.pmdOfCore(4), 2);
+    EXPECT_EQ(p.pmdOfCore(7), 3);
+}
+
+TEST(Params, DeathOnInconsistentTopology)
+{
+    XGene2Params p;
+    p.numCores = 7;
+    EXPECT_DEATH(p.validate(), "cores");
+}
+
+TEST(Params, DeathOnMisalignedNominal)
+{
+    XGene2Params p;
+    p.nominalPmdVoltage = 982;
+    EXPECT_DEATH(p.validate(), "multiples");
+}
+
+TEST(Params, DeathOnBadFrequencyGrid)
+{
+    XGene2Params p;
+    p.maxFrequency = 2500;
+    EXPECT_DEATH(p.validate(), "frequency");
+}
+
+TEST(Params, DeathOnNonPow2Line)
+{
+    XGene2Params p;
+    p.cacheLineBytes = 48;
+    EXPECT_DEATH(p.validate(), "power of two");
+}
+
+TEST(CornerNames, RoundTrip)
+{
+    for (ChipCorner c : kAllCorners)
+        EXPECT_EQ(cornerFromName(cornerName(c)), c);
+}
+
+TEST(CornerNames, UnknownIsFatal)
+{
+    EXPECT_EXIT(cornerFromName("XYZ"),
+                ::testing::ExitedWithCode(1), "unknown chip corner");
+}
+
+} // namespace
+} // namespace vmargin::sim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the static process-variation model (calibration
+ * invariants of DESIGN.md section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/process_variation.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+ProcessVariation
+chipOf(ChipCorner corner, uint32_t serial = 1)
+{
+    return ProcessVariation(XGene2Params{}, corner, serial);
+}
+
+TEST(Variation, DeterministicInSerial)
+{
+    const auto a = chipOf(ChipCorner::TTT, 3);
+    const auto b = chipOf(ChipCorner::TTT, 3);
+    for (CoreId c = 0; c < 8; ++c) {
+        EXPECT_EQ(a.core(c).timingBaseMv, b.core(c).timingBaseMv);
+        EXPECT_EQ(a.core(c).sramHardMv, b.core(c).sramHardMv);
+        EXPECT_DOUBLE_EQ(a.core(c).leakageFactor,
+                         b.core(c).leakageFactor);
+    }
+}
+
+TEST(Variation, SerialsDiffer)
+{
+    const auto a = chipOf(ChipCorner::TTT, 1);
+    const auto b = chipOf(ChipCorner::TTT, 2);
+    bool any_diff = false;
+    for (CoreId c = 0; c < 8; ++c)
+        any_diff =
+            any_diff ||
+            a.core(c).timingBaseMv != b.core(c).timingBaseMv;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Variation, Pmd2IsMostRobust)
+{
+    // Figure 4: PMD 2 (cores 4, 5) is the most robust on every chip;
+    // PMD 0 (cores 0, 1) is the most sensitive.
+    for (ChipCorner corner : kAllCorners) {
+        for (uint32_t serial = 1; serial <= 3; ++serial) {
+            const auto chip = chipOf(corner, serial);
+            const auto pmd_base = [&](PmdId p) {
+                return (chip.core(2 * p).timingBaseMv +
+                        chip.core(2 * p + 1).timingBaseMv) /
+                       2;
+            };
+            EXPECT_LT(pmd_base(2), pmd_base(0));
+            EXPECT_LT(pmd_base(2), pmd_base(1));
+            EXPECT_LT(pmd_base(2), pmd_base(3));
+            EXPECT_GT(pmd_base(0), pmd_base(1));
+            EXPECT_GT(pmd_base(0), pmd_base(3));
+        }
+    }
+}
+
+TEST(Variation, CornerOrdering)
+{
+    // TFF undervolts deeper than TTT; TSS is the weakest (paper
+    // section 3.3).
+    const auto ttt = chipOf(ChipCorner::TTT);
+    const auto tff = chipOf(ChipCorner::TFF);
+    const auto tss = chipOf(ChipCorner::TSS);
+    const auto avg = [](const ProcessVariation &v) {
+        double sum = 0;
+        for (CoreId c = 0; c < 8; ++c)
+            sum += v.core(c).timingBaseMv;
+        return sum / 8.0;
+    };
+    EXPECT_LT(avg(tff), avg(ttt));
+    EXPECT_GT(avg(tss), avg(ttt));
+}
+
+TEST(Variation, LeakageOrdering)
+{
+    EXPECT_GT(chipOf(ChipCorner::TFF).chipLeakageFactor(),
+              chipOf(ChipCorner::TTT).chipLeakageFactor());
+    EXPECT_LT(chipOf(ChipCorner::TSS).chipLeakageFactor(),
+              chipOf(ChipCorner::TTT).chipLeakageFactor());
+}
+
+TEST(Variation, CoreToCoreSpreadWithinPaperBound)
+{
+    // Up to ~3.6% of nominal (35 mV) between the most robust and
+    // the most sensitive core.
+    for (ChipCorner corner : kAllCorners) {
+        const auto chip = chipOf(corner);
+        MilliVolt lo = 10000, hi = 0;
+        for (CoreId c = 0; c < 8; ++c) {
+            lo = std::min(lo, chip.core(c).timingBaseMv);
+            hi = std::max(hi, chip.core(c).timingBaseMv);
+        }
+        EXPECT_GT(hi - lo, 15) << "variation suspiciously small";
+        EXPECT_LE(hi - lo, 40) << "variation beyond the paper's 3.6%";
+    }
+}
+
+TEST(Variation, SramHardWellBelowTiming)
+{
+    // Section 3.4: cache arrays survive far below the timing-failure
+    // region.
+    const auto chip = chipOf(ChipCorner::TTT);
+    for (CoreId c = 0; c < 8; ++c)
+        EXPECT_LE(chip.core(c).sramHardMv,
+                  chip.core(c).timingBaseMv - 30);
+}
+
+TEST(Variation, HalfSpeedCrashNear753)
+{
+    for (ChipCorner corner : kAllCorners) {
+        const auto chip = chipOf(corner);
+        EXPECT_GE(chip.halfSpeedCrashMv(), 750);
+        EXPECT_LE(chip.halfSpeedCrashMv(), 756);
+    }
+}
+
+TEST(Variation, RobustAndSensitiveCoreLookup)
+{
+    const auto chip = chipOf(ChipCorner::TTT);
+    const CoreId robust = chip.mostRobustCore();
+    const CoreId sensitive = chip.mostSensitiveCore();
+    EXPECT_TRUE(robust == 4 || robust == 5);
+    EXPECT_TRUE(sensitive == 0 || sensitive == 1);
+    for (CoreId c = 0; c < 8; ++c) {
+        EXPECT_LE(chip.core(robust).timingBaseMv,
+                  chip.core(c).timingBaseMv);
+        EXPECT_GE(chip.core(sensitive).timingBaseMv,
+                  chip.core(c).timingBaseMv);
+    }
+}
+
+TEST(Variation, DeathOnBadCore)
+{
+    const auto chip = chipOf(ChipCorner::TTT);
+    EXPECT_DEATH(chip.core(8), "out of range");
+    EXPECT_DEATH(chip.core(-1), "out of range");
+}
+
+} // namespace
+} // namespace vmargin::sim

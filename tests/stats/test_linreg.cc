@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for OLS linear regression and the naive baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/linreg.hh"
+#include "stats/metrics.hh"
+#include "util/rng.hh"
+
+namespace vmargin::stats
+{
+namespace
+{
+
+TEST(LinearRegression, RecoversExactLinearModel)
+{
+    // y = 3 + 2 x1 - 0.5 x2
+    util::Rng rng(1);
+    Matrix x(50, 2);
+    Vector y(50);
+    for (size_t i = 0; i < 50; ++i) {
+        x(i, 0) = rng.uniform(-5, 5);
+        x(i, 1) = rng.uniform(-5, 5);
+        y[i] = 3.0 + 2.0 * x(i, 0) - 0.5 * x(i, 1);
+    }
+    LinearRegression lr;
+    lr.fit(x, y);
+    EXPECT_NEAR(lr.intercept(), 3.0, 1e-9);
+    EXPECT_NEAR(lr.coefficients()[0], 2.0, 1e-9);
+    EXPECT_NEAR(lr.coefficients()[1], -0.5, 1e-9);
+    EXPECT_NEAR(lr.score(x, y), 1.0, 1e-12);
+}
+
+TEST(LinearRegression, PredictMatchesManualEvaluation)
+{
+    Matrix x = Matrix::fromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+    Vector y{1.0, 3.0, 5.0, 7.0}; // y = 1 + 2x
+    LinearRegression lr;
+    lr.fit(x, y);
+    EXPECT_NEAR(lr.predictOne({10.0}), 21.0, 1e-9);
+    const Vector all = lr.predict(x);
+    EXPECT_NEAR(all[2], 5.0, 1e-9);
+}
+
+TEST(LinearRegression, RobustToNoise)
+{
+    util::Rng rng(2);
+    Matrix x(200, 1);
+    Vector y(200);
+    for (size_t i = 0; i < 200; ++i) {
+        x(i, 0) = rng.uniform(0, 10);
+        y[i] = 4.0 * x(i, 0) + rng.gaussian(0.0, 0.5);
+    }
+    LinearRegression lr;
+    lr.fit(x, y);
+    EXPECT_NEAR(lr.coefficients()[0], 4.0, 0.05);
+    EXPECT_GT(lr.score(x, y), 0.98);
+}
+
+TEST(LinearRegression, ConstantTarget)
+{
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}, {3.0}});
+    Vector y{5.0, 5.0, 5.0};
+    LinearRegression lr;
+    lr.fit(x, y);
+    EXPECT_NEAR(lr.intercept(), 5.0, 1e-9);
+    EXPECT_NEAR(lr.coefficients()[0], 0.0, 1e-9);
+}
+
+TEST(LinearRegression, TrainedFlag)
+{
+    LinearRegression lr;
+    EXPECT_FALSE(lr.trained());
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}});
+    lr.fit(x, {1.0, 2.0});
+    EXPECT_TRUE(lr.trained());
+}
+
+TEST(LinearRegression, DeathOnPredictBeforeFit)
+{
+    LinearRegression lr;
+    EXPECT_DEATH(lr.predictOne({1.0}), "predict before fit");
+}
+
+TEST(LinearRegression, DeathOnSampleSizeMismatch)
+{
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}});
+    LinearRegression lr;
+    lr.fit(x, {1.0, 2.0});
+    EXPECT_DEATH(lr.predictOne({1.0, 2.0}), "features");
+}
+
+TEST(MeanPredictor, PredictsTrainingMean)
+{
+    MeanPredictor naive;
+    naive.fit({2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(naive.predictOne(), 4.0);
+    const Vector out = naive.predict(3);
+    EXPECT_EQ(out, (Vector{4.0, 4.0, 4.0}));
+}
+
+TEST(MeanPredictor, R2IsZeroOnTrainingSet)
+{
+    // The mean predictor is the R2 = 0 reference by definition.
+    const Vector y{1.0, 2.0, 3.0, 4.0};
+    MeanPredictor naive;
+    naive.fit(y);
+    EXPECT_NEAR(r2Score(y, naive.predict(y.size())), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace vmargin::stats

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for Recursive Feature Elimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/rfe.hh"
+#include "util/rng.hh"
+
+namespace vmargin::stats
+{
+namespace
+{
+
+/** Dataset where y depends only on columns `signal`. */
+struct Synthetic
+{
+    Matrix x;
+    Vector y;
+};
+
+Synthetic
+makeSynthetic(size_t samples, size_t features,
+              const std::vector<size_t> &signal, double noise,
+              Seed seed)
+{
+    util::Rng rng(seed);
+    Synthetic data;
+    data.x = Matrix(samples, features);
+    data.y.assign(samples, 0.0);
+    for (size_t i = 0; i < samples; ++i) {
+        for (size_t j = 0; j < features; ++j)
+            data.x(i, j) = rng.uniform(-1, 1);
+        double y = 0.5;
+        for (size_t k = 0; k < signal.size(); ++k)
+            y += (2.0 + static_cast<double>(k)) *
+                 data.x(i, signal[k]);
+        data.y[i] = y + rng.gaussian(0.0, noise);
+    }
+    return data;
+}
+
+TEST(Rfe, FindsSignalFeatures)
+{
+    const std::vector<size_t> signal{3, 11, 17};
+    const auto data = makeSynthetic(120, 20, signal, 0.05, 1);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 3);
+    ASSERT_EQ(result.selected.size(), 3u);
+    for (size_t s : signal)
+        EXPECT_NE(std::find(result.selected.begin(),
+                            result.selected.end(), s),
+                  result.selected.end())
+            << "signal feature " << s << " was eliminated";
+}
+
+TEST(Rfe, OrdersByImportance)
+{
+    // Coefficients 2, 3, 4 on features 0, 1, 2: the strongest
+    // feature (2) should rank first.
+    const auto data = makeSynthetic(200, 6, {0, 1, 2}, 0.01, 2);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 3);
+    EXPECT_EQ(result.selected.front(), 2u);
+}
+
+TEST(Rfe, EliminationOrderHasDroppedFeatures)
+{
+    const auto data = makeSynthetic(60, 8, {0}, 0.05, 3);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 2);
+    EXPECT_EQ(result.eliminationOrder.size(), 6u);
+    // Nothing selected also appears in the elimination order.
+    for (size_t s : result.selected)
+        EXPECT_EQ(std::count(result.eliminationOrder.begin(),
+                             result.eliminationOrder.end(), s),
+                  0);
+}
+
+TEST(Rfe, KeepAllIsIdentitySelection)
+{
+    const auto data = makeSynthetic(40, 5, {1}, 0.05, 4);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 5);
+    EXPECT_EQ(result.selected.size(), 5u);
+    EXPECT_TRUE(result.eliminationOrder.empty());
+}
+
+TEST(Rfe, BatchedDropsReachTarget)
+{
+    const auto data = makeSynthetic(80, 30, {5, 6}, 0.05, 5);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 2, 7);
+    EXPECT_EQ(result.selected.size(), 2u);
+    EXPECT_EQ(result.eliminationOrder.size(), 28u);
+}
+
+TEST(Rfe, SurvivesMoreFeaturesThanSamples)
+{
+    // The paper's regime: 101 features, 40 samples. The ridge inside
+    // RFE must keep the normal equations solvable.
+    const auto data = makeSynthetic(40, 101, {10, 50}, 0.05, 6);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 5, 8);
+    EXPECT_EQ(result.selected.size(), 5u);
+    EXPECT_NE(std::find(result.selected.begin(),
+                        result.selected.end(), size_t{10}),
+              result.selected.end());
+    EXPECT_NE(std::find(result.selected.begin(),
+                        result.selected.end(), size_t{50}),
+              result.selected.end());
+}
+
+TEST(Rfe, ToleratesDuplicatedColumns)
+{
+    // Perfectly collinear copies of the signal column must not make
+    // the elimination blow up.
+    auto data = makeSynthetic(60, 6, {0}, 0.02, 7);
+    for (size_t i = 0; i < data.x.rows(); ++i)
+        data.x(i, 5) = data.x(i, 0);
+    const auto result =
+        recursiveFeatureElimination(data.x, data.y, 2);
+    ASSERT_EQ(result.selected.size(), 2u);
+    // One of the two copies must survive.
+    const bool has_copy =
+        std::count(result.selected.begin(), result.selected.end(),
+                   size_t{0}) +
+            std::count(result.selected.begin(),
+                       result.selected.end(), size_t{5}) >=
+        1;
+    EXPECT_TRUE(has_copy);
+}
+
+TEST(Rfe, DeathOnBadArguments)
+{
+    const auto data = makeSynthetic(10, 4, {0}, 0.1, 8);
+    EXPECT_DEATH(recursiveFeatureElimination(data.x, data.y, 0),
+                 "keep");
+    EXPECT_DEATH(recursiveFeatureElimination(data.x, data.y, 5),
+                 "keep");
+    EXPECT_DEATH(recursiveFeatureElimination(data.x, data.y, 2, 0),
+                 "drop_per_round");
+}
+
+} // namespace
+} // namespace vmargin::stats

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for train/test and k-fold splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stats/split.hh"
+
+namespace vmargin::stats
+{
+namespace
+{
+
+Matrix
+indexMatrix(size_t n)
+{
+    Matrix x(n, 1);
+    for (size_t i = 0; i < n; ++i)
+        x(i, 0) = static_cast<double>(i);
+    return x;
+}
+
+Vector
+indexVector(size_t n)
+{
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i)
+        y[i] = static_cast<double>(i);
+    return y;
+}
+
+TEST(TrainTestSplit, SizesMatchFraction)
+{
+    const auto split =
+        trainTestSplit(indexMatrix(100), indexVector(100), 0.2, 1);
+    EXPECT_EQ(split.testY.size(), 20u);
+    EXPECT_EQ(split.trainY.size(), 80u);
+    EXPECT_EQ(split.trainX.rows(), 80u);
+    EXPECT_EQ(split.testX.rows(), 20u);
+}
+
+TEST(TrainTestSplit, PartitionIsExactAndDisjoint)
+{
+    const auto split =
+        trainTestSplit(indexMatrix(50), indexVector(50), 0.3, 2);
+    std::set<size_t> all(split.trainIndices.begin(),
+                         split.trainIndices.end());
+    for (size_t i : split.testIndices) {
+        EXPECT_TRUE(all.insert(i).second) << "index " << i
+                                          << " duplicated";
+    }
+    EXPECT_EQ(all.size(), 50u);
+}
+
+TEST(TrainTestSplit, RowsFollowIndices)
+{
+    const auto split =
+        trainTestSplit(indexMatrix(20), indexVector(20), 0.25, 3);
+    for (size_t i = 0; i < split.testIndices.size(); ++i) {
+        EXPECT_DOUBLE_EQ(split.testX(i, 0),
+                         static_cast<double>(split.testIndices[i]));
+        EXPECT_DOUBLE_EQ(split.testY[i],
+                         static_cast<double>(split.testIndices[i]));
+    }
+}
+
+TEST(TrainTestSplit, DeterministicInSeed)
+{
+    const auto a =
+        trainTestSplit(indexMatrix(30), indexVector(30), 0.2, 42);
+    const auto b =
+        trainTestSplit(indexMatrix(30), indexVector(30), 0.2, 42);
+    EXPECT_EQ(a.testIndices, b.testIndices);
+    const auto c =
+        trainTestSplit(indexMatrix(30), indexVector(30), 0.2, 43);
+    EXPECT_NE(a.testIndices, c.testIndices);
+}
+
+TEST(TrainTestSplit, AtLeastOneEachSide)
+{
+    const auto split =
+        trainTestSplit(indexMatrix(3), indexVector(3), 0.01, 1);
+    EXPECT_GE(split.testY.size(), 1u);
+    EXPECT_GE(split.trainY.size(), 1u);
+}
+
+TEST(TrainTestSplit, DeathOnBadFraction)
+{
+    EXPECT_DEATH(
+        trainTestSplit(indexMatrix(10), indexVector(10), 1.5, 1),
+        "fraction");
+}
+
+TEST(KFold, CoversDatasetDisjointly)
+{
+    const auto folds =
+        kFoldSplit(indexMatrix(23), indexVector(23), 5, 7);
+    ASSERT_EQ(folds.size(), 5u);
+    std::set<size_t> seen;
+    for (const auto &fold : folds)
+        for (size_t i : fold.testIndices)
+            EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFold, TrainTestComplementary)
+{
+    const auto folds =
+        kFoldSplit(indexMatrix(12), indexVector(12), 3, 9);
+    for (const auto &fold : folds) {
+        EXPECT_EQ(fold.trainIndices.size() + fold.testIndices.size(),
+                  12u);
+        for (size_t i : fold.testIndices)
+            EXPECT_EQ(std::count(fold.trainIndices.begin(),
+                                 fold.trainIndices.end(), i),
+                      0);
+    }
+}
+
+TEST(KFold, DeathOnTooManyFolds)
+{
+    EXPECT_DEATH(kFoldSplit(indexMatrix(3), indexVector(3), 4, 1),
+                 "folds");
+}
+
+} // namespace
+} // namespace vmargin::stats

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for streaming statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/accum.hh"
+#include "util/rng.hh"
+
+namespace vmargin::util
+{
+namespace
+{
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator acc;
+    acc.add(5.0);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_EQ(acc.mean(), 5.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+    EXPECT_EQ(acc.min(), 5.0);
+    EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_EQ(acc.min(), 2.0);
+    EXPECT_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, SampleVariance)
+{
+    Accumulator acc;
+    for (double v : {1.0, 2.0, 3.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.sampleVariance(), 1.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential)
+{
+    Accumulator a, b, all;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    Accumulator c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Accumulator, Reset)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram hist(0.0, 10.0, 5);
+    EXPECT_EQ(hist.bins(), 5u);
+    EXPECT_DOUBLE_EQ(hist.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.binLow(4), 8.0);
+}
+
+TEST(Histogram, Counting)
+{
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(0.5);  // bin 0
+    hist.add(1.99); // bin 0
+    hist.add(2.0);  // bin 1
+    hist.add(9.99); // bin 4
+    EXPECT_EQ(hist.binCount(0), 2u);
+    EXPECT_EQ(hist.binCount(1), 1u);
+    EXPECT_EQ(hist.binCount(4), 1u);
+    EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(-1.0);
+    hist.add(10.0); // hi edge is exclusive
+    hist.add(100.0);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.total(), 3u);
+}
+
+} // namespace
+} // namespace vmargin::util

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the CLI option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hh"
+
+namespace vmargin::util
+{
+namespace
+{
+
+std::vector<const char *>
+argvOf(std::initializer_list<const char *> args)
+{
+    return std::vector<const char *>(args);
+}
+
+TEST(Cli, Defaults)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    const auto argv = argvOf({"prog"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.value("chip"), "TTT");
+}
+
+TEST(Cli, SpaceSeparatedValue)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    const auto argv = argvOf({"prog", "--chip", "TFF"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.value("chip"), "TFF");
+}
+
+TEST(Cli, EqualsValue)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    const auto argv = argvOf({"prog", "--chip=TSS"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.value("chip"), "TSS");
+}
+
+TEST(Cli, Flags)
+{
+    CliParser cli("prog", "test");
+    cli.addFlag("verbose", "chatty");
+    const auto argv = argvOf({"prog", "--verbose"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, FlagAbsent)
+{
+    CliParser cli("prog", "test");
+    cli.addFlag("verbose", "chatty");
+    const auto argv = argvOf({"prog"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(cli.flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails)
+{
+    CliParser cli("prog", "test");
+    const auto argv = argvOf({"prog", "--nope"});
+    EXPECT_FALSE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, MissingValueFails)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    const auto argv = argvOf({"prog", "--chip"});
+    EXPECT_FALSE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse)
+{
+    CliParser cli("prog", "test");
+    const auto argv = argvOf({"prog", "--help"});
+    EXPECT_FALSE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, IntAndDoubleValues)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("runs", "10", "run count");
+    cli.addOption("frac", "0.2", "fraction");
+    const auto argv = argvOf({"prog", "--runs", "25"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.intValue("runs"), 25);
+    EXPECT_DOUBLE_EQ(cli.doubleValue("frac"), 0.2);
+}
+
+TEST(Cli, Positional)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    const auto argv = argvOf({"prog", "bwaves", "--chip", "TFF",
+                              "mcf"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "bwaves");
+    EXPECT_EQ(cli.positional()[1], "mcf");
+}
+
+TEST(Cli, HelpTextListsOptions)
+{
+    CliParser cli("prog", "does things");
+    cli.addOption("chip", "TTT", "chip corner");
+    cli.addFlag("verbose", "chatty");
+    std::ostringstream os;
+    cli.printHelp(os);
+    const std::string help = os.str();
+    EXPECT_NE(help.find("--chip"), std::string::npos);
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    EXPECT_NE(help.find("TTT"), std::string::npos);
+}
+
+} // namespace
+} // namespace vmargin::util

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for CSV emission and parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace vmargin::util
+{
+namespace
+{
+
+TEST(CsvWriter, PlainRows)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"a", "b"});
+    writer.writeRow({"1", "2"});
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+    EXPECT_EQ(writer.rowsWritten(), 2u);
+}
+
+TEST(CsvWriter, EscapesSeparator)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriter, EscapesQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, EscapesNewline)
+{
+    EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, LeavesPlainAlone)
+{
+    EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvWriter, CustomSeparator)
+{
+    std::ostringstream os;
+    CsvWriter writer(os, ';');
+    writer.writeRow({"a;x", "b"});
+    EXPECT_EQ(os.str(), "\"a;x\";b\n");
+}
+
+TEST(ParseCsv, RoundTrip)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"name", "value"});
+    writer.writeRow({"plain", "1"});
+    writer.writeRow({"with,comma", "2"});
+    writer.writeRow({"with \"quote\"", "3"});
+    writer.writeRow({"with\nnewline", "4"});
+
+    const CsvDocument doc = parseCsv(os.str());
+    ASSERT_EQ(doc.header.size(), 2u);
+    ASSERT_EQ(doc.rows.size(), 4u);
+    EXPECT_EQ(doc.at(0, "name"), "plain");
+    EXPECT_EQ(doc.at(1, "name"), "with,comma");
+    EXPECT_EQ(doc.at(2, "name"), "with \"quote\"");
+    EXPECT_EQ(doc.at(3, "name"), "with\nnewline");
+    EXPECT_EQ(doc.at(3, "value"), "4");
+}
+
+TEST(ParseCsv, Empty)
+{
+    const CsvDocument doc = parseCsv("");
+    EXPECT_TRUE(doc.header.empty());
+    EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(ParseCsv, HeaderOnly)
+{
+    const CsvDocument doc = parseCsv("a,b,c\n");
+    EXPECT_EQ(doc.header.size(), 3u);
+    EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(ParseCsv, CrLfLineEndings)
+{
+    const CsvDocument doc = parseCsv("a,b\r\n1,2\r\n");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.at(0, "b"), "2");
+}
+
+TEST(ParseCsv, MissingColumnIndex)
+{
+    const CsvDocument doc = parseCsv("a,b\n1,2\n");
+    EXPECT_EQ(doc.columnIndex("a"), 0);
+    EXPECT_EQ(doc.columnIndex("b"), 1);
+    EXPECT_EQ(doc.columnIndex("zzz"), -1);
+}
+
+TEST(ParseCsvLine, EmptyFieldsKept)
+{
+    const auto fields = parseCsvLine("a,,c");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[1], "");
+}
+
+TEST(ParseCsvLine, QuotedSeparator)
+{
+    const auto fields = parseCsvLine("\"a,b\",c");
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(ParseCsv, NoTrailingNewline)
+{
+    const CsvDocument doc = parseCsv("a,b\n1,2");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.at(0, "b"), "2");
+}
+
+} // namespace
+} // namespace vmargin::util

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for workload profile validation and identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/profile.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::wl
+{
+namespace
+{
+
+WorkloadProfile
+validProfile()
+{
+    WorkloadProfile p;
+    p.name = "toy";
+    p.mix = {0.4, 0.1, 0.25, 0.1, 0.15};
+    return p;
+}
+
+TEST(Profile, IdWithAndWithoutDataset)
+{
+    WorkloadProfile p = validProfile();
+    EXPECT_EQ(p.id(), "toy");
+    p.dataset = "ref";
+    EXPECT_EQ(p.id(), "toy/ref");
+}
+
+TEST(Profile, MemAccessFraction)
+{
+    const WorkloadProfile p = validProfile();
+    EXPECT_DOUBLE_EQ(p.memAccessFrac(), 0.35);
+}
+
+TEST(Profile, MixTotal)
+{
+    const WorkloadProfile p = validProfile();
+    EXPECT_NEAR(p.mix.total(), 1.0, 1e-12);
+}
+
+TEST(Profile, ValidProfilePasses)
+{
+    validProfile().validate();
+}
+
+TEST(Profile, DeathOnEmptyName)
+{
+    WorkloadProfile p = validProfile();
+    p.name.clear();
+    EXPECT_DEATH(p.validate(), "empty name");
+}
+
+TEST(Profile, DeathOnBadMix)
+{
+    WorkloadProfile p = validProfile();
+    p.mix.alu = 0.9; // mix sums to 1.5
+    EXPECT_DEATH(p.validate(), "instruction mix");
+}
+
+TEST(Profile, DeathOnBadIpc)
+{
+    WorkloadProfile p = validProfile();
+    p.ipcNominal = 5.0; // beyond a 4-issue machine
+    EXPECT_DEATH(p.validate(), "ipcNominal");
+    p.ipcNominal = 0.0;
+    EXPECT_DEATH(p.validate(), "ipcNominal");
+}
+
+TEST(Profile, DeathOnOutOfRangeRates)
+{
+    WorkloadProfile p = validProfile();
+    p.dispatchStallFrac = 1.2;
+    EXPECT_DEATH(p.validate(), "dispatchStallFrac");
+}
+
+TEST(Profile, DeathOnZeroLength)
+{
+    WorkloadProfile p = validProfile();
+    p.epochs = 0;
+    EXPECT_DEATH(p.validate(), "zero-length");
+}
+
+TEST(Profile, DeathOnCacheTestWithoutLevel)
+{
+    WorkloadProfile p = validProfile();
+    p.kind = WorkloadKind::CacheTest;
+    EXPECT_DEATH(p.validate(), "target cache level");
+}
+
+} // namespace
+} // namespace vmargin::wl

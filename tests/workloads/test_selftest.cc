@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the section 3.4 component self-tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/selftest.hh"
+
+namespace vmargin::wl
+{
+namespace
+{
+
+TEST(SelfTest, SuiteHasSixTests)
+{
+    const auto suite = selfTestSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    for (const auto &p : suite)
+        p.validate();
+}
+
+TEST(SelfTest, CacheTestsTargetTheirLevel)
+{
+    EXPECT_EQ(cacheSelfTest(CacheLevel::L1D).targetLevel,
+              CacheLevel::L1D);
+    EXPECT_EQ(cacheSelfTest(CacheLevel::L3).targetLevel,
+              CacheLevel::L3);
+}
+
+TEST(SelfTest, CacheTestWorkingSetMatchesArraySize)
+{
+    EXPECT_DOUBLE_EQ(cacheSelfTest(CacheLevel::L1D).workingSetKb,
+                     32.0);
+    EXPECT_DOUBLE_EQ(cacheSelfTest(CacheLevel::L2).workingSetKb,
+                     256.0);
+    EXPECT_DOUBLE_EQ(cacheSelfTest(CacheLevel::L3).workingSetKb,
+                     8192.0);
+}
+
+TEST(SelfTest, CacheTestsStreamLinearly)
+{
+    // Fill/flip tests walk the array sequentially by design.
+    const auto p = cacheSelfTest(CacheLevel::L2);
+    EXPECT_DOUBLE_EQ(p.spatialLocality, 1.0);
+    EXPECT_DOUBLE_EQ(p.temporalLocality, 0.0);
+    EXPECT_GT(p.memAccessFrac(), 0.7);
+}
+
+TEST(SelfTest, AluTestSaturatesIntegerPipe)
+{
+    const auto p = aluSelfTest();
+    EXPECT_EQ(p.kind, WorkloadKind::AluTest);
+    EXPECT_GT(p.mix.alu, 0.8);
+    EXPECT_LT(p.dispatchStallFrac, 0.1);
+    EXPECT_GT(p.ipcNominal, 2.5);
+}
+
+TEST(SelfTest, FpuTestSaturatesFloatPipe)
+{
+    const auto p = fpuSelfTest();
+    EXPECT_EQ(p.kind, WorkloadKind::FpuTest);
+    EXPECT_GT(p.mix.fpu, 0.8);
+    EXPECT_LT(p.dispatchStallFrac, 0.1);
+}
+
+TEST(SelfTest, DeathOnCacheTestWithoutLevel)
+{
+    EXPECT_DEATH(cacheSelfTest(CacheLevel::None), "concrete");
+}
+
+} // namespace
+} // namespace vmargin::wl
