@@ -8,7 +8,8 @@ namespace vmargin
 {
 
 CampaignRunner::CampaignRunner(sim::Platform *platform)
-    : platform_(platform), slimpro_(platform), watchdog_(platform)
+    : platform_(platform), slimpro_(platform), watchdog_(platform),
+      managed_(platform, &slimpro_, &watchdog_)
 {
     if (!platform_)
         util::panicf("CampaignRunner: null platform");
@@ -31,10 +32,34 @@ CampaignRunner::runSeed(const CampaignConfig &config,
     return seed;
 }
 
+Seed
+CampaignRunner::faultScope(const CampaignConfig &config) const
+{
+    // Same coordinate hashing as runSeed, minus voltage/run (the
+    // fault stream covers the whole campaign) — so a campaign's
+    // fault sequence is a pure function of what is being measured,
+    // never of how many campaigns ran before it.
+    Seed seed = util::hashSeed("fault-scope");
+    seed = util::mixSeed(seed, util::hashSeed(config.workload.id()));
+    seed = util::mixSeed(
+        seed, static_cast<uint64_t>(platform_->chip().corner()) << 32 |
+                  platform_->chip().serial());
+    seed = util::mixSeed(seed, static_cast<uint64_t>(config.core));
+    seed = util::mixSeed(seed,
+                         static_cast<uint64_t>(config.frequency));
+    seed = util::mixSeed(seed,
+                         static_cast<uint64_t>(config.startVoltage));
+    seed = util::mixSeed(seed,
+                         static_cast<uint64_t>(config.endVoltage));
+    seed = util::mixSeed(seed, config.campaignIndex);
+    return seed;
+}
+
 CampaignResult
 CampaignRunner::run(const CampaignConfig &config)
 {
     config.workload.validate();
+    config.retry.validate();
     const auto &params = platform_->chip().params();
     if (config.core < 0 || config.core >= params.numCores)
         util::fatalError("campaign: core out of range");
@@ -43,24 +68,65 @@ CampaignRunner::run(const CampaignConfig &config)
     if (config.startVoltage < config.endVoltage)
         util::fatalError("campaign: inverted voltage range");
 
+    managed_.setPolicy(config.retry);
+    if (sim::FaultPlan *plan = platform_->faultPlan())
+        plan->scopeTo(faultScope(config));
+
     CampaignResult result;
     result.config = config;
     const uint64_t interventions_before = watchdog_.interventions();
+    const RecoveryTelemetry telemetry_before = managed_.telemetry();
 
     // ---- initialization phase -----------------------------------
-    watchdog_.ensureResponsive("campaign start");
+    managed_.revive(sim::WatchdogContext::CampaignStart);
     // Fan setpoint first so the boot settles the package at the
     // configured temperature (paper: 43 C for every experiment).
-    slimpro_.setFanTarget(config.fanTarget);
+    managed_.setFanTarget(config.fanTarget);
     platform_->powerCycle(); // known-clean state
 
     const PmdId target_pmd = params.pmdOfCore(config.core);
     // Reliable cores setup: park every other PMD at the minimum
     // frequency, keep the PMD under characterization at the target.
-    for (PmdId p = 0; p < params.numPmds; ++p)
-        slimpro_.setPmdFrequency(p, p == target_pmd
-                                        ? config.frequency
-                                        : params.minFrequency);
+    const auto applyFrequencyPlan = [&]() -> bool {
+        bool ok = true;
+        for (PmdId p = 0; p < params.numPmds; ++p)
+            ok = managed_.setPmdFrequency(
+                     p, p == target_pmd ? config.frequency
+                                        : params.minFrequency) &&
+                 ok;
+        return ok;
+    };
+
+    // Boot count of the last boot whose frequency plan fully took;
+    // any reboot (crash recovery, revival inside a retry) resets the
+    // chip to nominal V/F and invalidates the plan.
+    uint64_t setup_boot = 0;
+    if (applyFrequencyPlan())
+        setup_boot = platform_->bootCount();
+
+    // Establish one run's operating point: machine up, frequency
+    // plan applied, domain at `voltage`. A power cycle sneaking in
+    // through recovery resets V/F, so loop until one pass completes
+    // without a reboot (bounded by the retry budget).
+    const auto establishOperatingPoint =
+        [&](MilliVolt voltage) -> bool {
+        for (int pass = 0; pass < config.retry.attemptsPerOp;
+             ++pass) {
+            if (!managed_.revive(sim::WatchdogContext::PreRunCheck))
+                return false;
+            const uint64_t boot = platform_->bootCount();
+            if (boot != setup_boot) {
+                if (!applyFrequencyPlan())
+                    continue;
+                setup_boot = boot;
+            }
+            if (!managed_.setPmdVoltage(voltage))
+                continue;
+            if (platform_->bootCount() == setup_boot)
+                return true; // no reboot slipped in; point holds
+        }
+        return false;
+    };
 
     const auto sweep = power::voltageSweep(
         config.startVoltage, config.endVoltage,
@@ -70,19 +136,22 @@ CampaignRunner::run(const CampaignConfig &config)
 
     // ---- execution phase ----------------------------------------
     for (const MilliVolt voltage : sweep) {
-        bool all_crashed_here = config.runsPerVoltage > 0;
+        bool all_crashed_here = true;
+        bool any_executed = false;
         for (int r = 0; r < config.runsPerVoltage; ++r) {
-            // Recover from any crash left by the previous run; the
-            // frequency setup must be reapplied after a power cycle.
-            if (watchdog_.ensureResponsive("pre-run check")) {
-                for (PmdId p = 0; p < params.numPmds; ++p)
-                    slimpro_.setPmdFrequency(
-                        p, p == target_pmd ? config.frequency
-                                           : params.minFrequency);
+            if (!establishOperatingPoint(voltage)) {
+                // Retry budget exhausted: the measurement is lost,
+                // not fabricated — record it and move on.
+                RunKey lost;
+                lost.workloadId = config.workload.id();
+                lost.core = config.core;
+                lost.voltage = voltage;
+                lost.frequency = config.frequency;
+                lost.campaign = config.campaignIndex;
+                lost.runIndex = static_cast<uint32_t>(r);
+                result.lostRuns.push_back(std::move(lost));
+                continue;
             }
-            if (!slimpro_.setPmdVoltage(voltage))
-                util::panicf("campaign: SLIMpro rejected setpoint ",
-                             voltage, " mV");
 
             sim::ExecutionConfig exec;
             exec.maxEpochs = config.maxEpochs;
@@ -95,7 +164,7 @@ CampaignRunner::run(const CampaignConfig &config)
             // the log (possible only when the machine survived; a
             // hung machine gets power-cycled before the next run).
             if (platform_->responsive())
-                slimpro_.setPmdVoltage(params.nominalPmdVoltage);
+                managed_.setPmdVoltage(params.nominalPmdVoltage);
 
             RunKey key;
             key.workloadId = config.workload.id();
@@ -107,11 +176,12 @@ CampaignRunner::run(const CampaignConfig &config)
             const auto log_lines = formatRunLog(key, run);
             result.rawLog.insert(result.rawLog.end(),
                                  log_lines.begin(), log_lines.end());
+            any_executed = true;
             all_crashed_here = all_crashed_here && run.systemCrashed;
         }
         result.lowestVoltageReached = voltage;
 
-        if (all_crashed_here) {
+        if (any_executed && all_crashed_here) {
             if (++consecutive_crash_levels >=
                 config.stopAfterCrashLevels)
                 break; // deep inside the non-operating region
@@ -121,14 +191,17 @@ CampaignRunner::run(const CampaignConfig &config)
     }
 
     // Leave the machine clean for the next campaign.
-    watchdog_.ensureResponsive("campaign end");
-    slimpro_.setPmdVoltage(params.nominalPmdVoltage);
-    slimpro_.setAllFrequencies(params.maxFrequency);
+    managed_.revive(sim::WatchdogContext::CampaignEnd);
+    managed_.setPmdVoltage(params.nominalPmdVoltage);
+    for (PmdId p = 0; p < params.numPmds; ++p)
+        managed_.setPmdFrequency(p, params.maxFrequency);
 
     // ---- parsing phase ------------------------------------------
     result.runs = parseCampaignLog(result.rawLog);
     result.watchdogInterventions =
         watchdog_.interventions() - interventions_before;
+    result.telemetry = managed_.telemetry().since(telemetry_before);
+    result.telemetry.lostMeasurements = result.lostRuns.size();
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "classifier.hh"
+#include "recovery.hh"
 #include "sim/platform.hh"
 #include "sim/slimpro.hh"
 #include "sim/watchdog.hh"
@@ -52,6 +53,9 @@ struct CampaignConfig
      *  which every run ended in a system crash — the machine is in
      *  the non-operating region and deeper steps add nothing. */
     int stopAfterCrashLevels = 2;
+
+    /** Retry discipline for every management-plane transaction. */
+    RetryPolicy retry;
 };
 
 /** Everything a campaign produced. */
@@ -62,6 +66,14 @@ struct CampaignResult
     std::vector<std::string> rawLog; ///< the stored "log files"
     uint64_t watchdogInterventions = 0;
     MilliVolt lowestVoltageReached = 0;
+
+    /** Runs whose operating point could not be established within
+     *  the retry budget — recorded, never silently dropped. */
+    std::vector<RunKey> lostRuns;
+
+    /** Recovery counters for this campaign (lostMeasurements filled
+     *  from lostRuns). */
+    RecoveryTelemetry telemetry;
 };
 
 /** Executes campaigns against a platform. */
@@ -83,14 +95,24 @@ class CampaignRunner
         return watchdog_.interventions();
     }
 
+    /** Cumulative recovery counters across all campaigns so far. */
+    const RecoveryTelemetry &totalTelemetry() const
+    {
+        return managed_.telemetry();
+    }
+
   private:
     /** Deterministic per-run seed from the experiment coordinates. */
     Seed runSeed(const CampaignConfig &config, MilliVolt voltage,
                  int run_index) const;
 
+    /** Seed scoping the fault plan to this campaign's coordinates. */
+    Seed faultScope(const CampaignConfig &config) const;
+
     sim::Platform *platform_;
     sim::SlimPro slimpro_;
     sim::Watchdog watchdog_;
+    ManagedSlimPro managed_;
 };
 
 } // namespace vmargin

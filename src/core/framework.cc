@@ -1,8 +1,10 @@
 #include "framework.hh"
 
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
+#include "resultstore.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -49,6 +51,9 @@ FrameworkConfig::fromConfig(const util::ConfigFile &file)
         file.getInt("runs_per_voltage", config.runsPerVoltage));
     config.maxEpochs = static_cast<uint32_t>(
         file.getInt("max_epochs", config.maxEpochs));
+    config.journalPath = file.get("journal", config.journalPath);
+    config.cellBudget = static_cast<int>(
+        file.getInt("cell_budget", config.cellBudget));
     config.validate();
     return config;
 }
@@ -66,6 +71,9 @@ FrameworkConfig::validate() const
         util::fatalError("framework: runsPerVoltage must be >= 1");
     if (startVoltage < endVoltage)
         util::fatalError("framework: inverted voltage range");
+    if (cellBudget < 0)
+        util::fatalError("framework: cellBudget must be >= 0");
+    retryPolicy.validate();
     weights.validate();
     for (const auto &workload : workloads)
         workload.validate();
@@ -157,12 +165,14 @@ CharacterizationFramework::CharacterizationFramework(
         util::panicf("CharacterizationFramework: null platform");
 }
 
-CellResult
-CharacterizationFramework::characterizeCell(
+CellMeasurement
+CharacterizationFramework::measureCell(
     const wl::WorkloadProfile &workload, CoreId core,
     const FrameworkConfig &config)
 {
-    std::vector<ClassifiedRun> cell_runs;
+    CellMeasurement cell;
+    cell.workloadId = workload.id();
+    cell.core = core;
     for (int rep = 0; rep < config.campaigns; ++rep) {
         CampaignConfig campaign;
         campaign.workload = workload;
@@ -174,16 +184,36 @@ CharacterizationFramework::characterizeCell(
         campaign.campaignIndex = static_cast<uint32_t>(rep);
         campaign.maxEpochs = config.maxEpochs;
         campaign.fanTarget = config.fanTarget;
+        campaign.retry = config.retryPolicy;
         const CampaignResult result = runner_.run(campaign);
-        cell_runs.insert(cell_runs.end(), result.runs.begin(),
+        cell.runs.insert(cell.runs.end(), result.runs.begin(),
                          result.runs.end());
+        cell.rawLog.insert(cell.rawLog.end(), result.rawLog.begin(),
+                           result.rawLog.end());
+        cell.watchdogInterventions += result.watchdogInterventions;
+        cell.telemetry.merge(result.telemetry);
     }
+    return cell;
+}
+
+CellResult
+CharacterizationFramework::characterizeCell(
+    const wl::WorkloadProfile &workload, CoreId core,
+    const FrameworkConfig &config)
+{
+    const CellMeasurement measured =
+        measureCell(workload, core, config);
+    if (measured.runs.empty())
+        util::fatalError("characterizeCell: every run of " +
+                         workload.id() + " on core " +
+                         std::to_string(core) +
+                         " was lost to management faults");
 
     CellResult cell;
     cell.workloadId = workload.id();
     cell.core = core;
-    cell.analysis = analyzeRegions(cell_runs, workload.id(), core,
-                                   config.weights);
+    cell.analysis = analyzeRegions(measured.runs, workload.id(),
+                                   core, config.weights);
     // Stash the runs in the analysis' map only; callers wanting raw
     // rows use CharacterizationReport::allRuns.
     return cell;
@@ -198,41 +228,73 @@ CharacterizationFramework::characterize(const FrameworkConfig &config)
     report.chipName = platform_->chip().name();
     report.corner = platform_->chip().corner();
     report.frequency = config.frequency;
-    const uint64_t interventions_before =
-        runner_.totalInterventions();
 
-    for (const auto &workload : config.workloads) {
-        for (const CoreId core : config.cores) {
-            std::vector<ClassifiedRun> cell_runs;
-            for (int rep = 0; rep < config.campaigns; ++rep) {
-                CampaignConfig campaign;
-                campaign.workload = workload;
-                campaign.core = core;
-                campaign.frequency = config.frequency;
-                campaign.startVoltage = config.startVoltage;
-                campaign.endVoltage = config.endVoltage;
-                campaign.runsPerVoltage = config.runsPerVoltage;
-                campaign.campaignIndex = static_cast<uint32_t>(rep);
-                campaign.maxEpochs = config.maxEpochs;
-                campaign.fanTarget = config.fanTarget;
-                const CampaignResult result = runner_.run(campaign);
-                cell_runs.insert(cell_runs.end(), result.runs.begin(),
-                                 result.runs.end());
-            }
-            CellResult cell;
-            cell.workloadId = workload.id();
-            cell.core = core;
-            cell.analysis = analyzeRegions(
-                cell_runs, workload.id(), core, config.weights);
-            report.cells.push_back(std::move(cell));
-            report.totalRuns += cell_runs.size();
-            report.allRuns.insert(report.allRuns.end(),
-                                  cell_runs.begin(), cell_runs.end());
-        }
+    std::unique_ptr<CampaignJournal> journal;
+    if (!config.journalPath.empty()) {
+        journal = std::make_unique<CampaignJournal>(
+            config.journalPath);
+        journal->open(journalHeaderFor(config, *platform_));
     }
 
-    report.watchdogInterventions =
-        runner_.totalInterventions() - interventions_before;
+    int fresh_cells = 0;
+    for (const auto &workload : config.workloads) {
+        for (const CoreId core : config.cores) {
+            const CellMeasurement *replayed =
+                journal ? journal->find(workload.id(), core)
+                        : nullptr;
+            CellMeasurement measured;
+            if (replayed) {
+                measured = *replayed;
+                ++report.telemetry.journalReplays;
+            } else {
+                if (config.cellBudget > 0 &&
+                    fresh_cells >= config.cellBudget) {
+                    // Session budget spent; the journal holds what
+                    // finished, a later call picks up from here.
+                    report.complete = false;
+                    break;
+                }
+                measured = measureCell(workload, core, config);
+                ++fresh_cells;
+                if (journal)
+                    journal->append(measured);
+            }
+
+            if (measured.runs.empty()) {
+                // Extreme hostility can lose a whole cell to the
+                // management plane. Degrade: account the loss,
+                // omit the cell, keep sweeping. (The empty cell is
+                // journaled above, so a resume will not redo it.)
+                util::warnf("characterize: every run of ",
+                            measured.workloadId, " on core ",
+                            measured.core,
+                            " was lost to management faults; "
+                            "cell omitted from the report");
+                report.watchdogInterventions +=
+                    measured.watchdogInterventions;
+                report.telemetry.merge(measured.telemetry);
+                continue;
+            }
+
+            CellResult cell;
+            cell.workloadId = measured.workloadId;
+            cell.core = measured.core;
+            cell.analysis =
+                analyzeRegions(measured.runs, measured.workloadId,
+                               measured.core, config.weights);
+            report.cells.push_back(std::move(cell));
+            report.totalRuns += measured.runs.size();
+            report.allRuns.insert(report.allRuns.end(),
+                                  measured.runs.begin(),
+                                  measured.runs.end());
+            report.watchdogInterventions +=
+                measured.watchdogInterventions;
+            report.telemetry.merge(measured.telemetry);
+        }
+        if (!report.complete)
+            break;
+    }
+
     return report;
 }
 

@@ -34,6 +34,25 @@ struct FrameworkConfig
     Celsius fanTarget = 43.0; ///< thermal stabilization point
     SeverityWeights weights;
 
+    /** Retry discipline for every management-plane transaction. */
+    RetryPolicy retryPolicy;
+
+    /**
+     * Write-ahead journal path (empty = no journal). Every finished
+     * (workload, core) cell is appended and flushed, so a killed
+     * sweep resumes from here re-running only the unfinished cells.
+     */
+    std::string journalPath;
+
+    /**
+     * Stop after measuring this many fresh (non-replayed) cells per
+     * characterize() call; 0 = unlimited. The report is then marked
+     * incomplete and a later call resumes from the journal — the
+     * paper's months-long campaigns chopped into survivable
+     * sessions.
+     */
+    int cellBudget = 0;
+
     /** Basic validation; fatal on an unusable configuration. */
     void validate() const;
 
@@ -56,6 +75,22 @@ struct CellResult
     RegionAnalysis analysis;
 };
 
+/**
+ * One (workload, core) cell's complete measurement: the classified
+ * runs of all campaign repetitions plus the raw log lines and the
+ * recovery/watchdog record that produced them. This is the unit the
+ * write-ahead journal persists and replays.
+ */
+struct CellMeasurement
+{
+    std::string workloadId;
+    CoreId core = 0;
+    std::vector<ClassifiedRun> runs;
+    std::vector<std::string> rawLog;
+    uint64_t watchdogInterventions = 0;
+    RecoveryTelemetry telemetry;
+};
+
 /** Everything the framework produced for one chip. */
 struct CharacterizationReport
 {
@@ -66,6 +101,13 @@ struct CharacterizationReport
     std::vector<ClassifiedRun> allRuns;
     uint64_t watchdogInterventions = 0;
     uint64_t totalRuns = 0;
+
+    /** Recovery counters aggregated over measured + replayed cells. */
+    RecoveryTelemetry telemetry;
+
+    /** False when a cell budget stopped the sweep early; resume by
+     *  calling characterize() again with the same journal. */
+    bool complete = true;
 
     /** Cell lookup; panics when the cell was not characterized. */
     const CellResult &cell(const std::string &workload_id,
@@ -97,6 +139,16 @@ class CharacterizationFramework
 
     /** Characterize a single (workload, core) cell. */
     CellResult characterizeCell(const wl::WorkloadProfile &workload,
+                                CoreId core,
+                                const FrameworkConfig &config);
+
+    /**
+     * Run all campaign repetitions of one cell and collect runs,
+     * raw logs and recovery telemetry. Both characterize() and
+     * characterizeCell() route through this, so the journal and
+     * recovery hooks live in exactly one place.
+     */
+    CellMeasurement measureCell(const wl::WorkloadProfile &workload,
                                 CoreId core,
                                 const FrameworkConfig &config);
 

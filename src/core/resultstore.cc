@@ -18,6 +18,34 @@ namespace
 {
 
 constexpr const char *kMagic = "# vmargin-report";
+constexpr const char *kJournalMagic = "# vmargin-journal";
+constexpr const char *kCellMarker = "CELL ";
+constexpr const char *kEndCellMarker = "ENDCELL ";
+
+/** Parse "key=value key=value ..." tokens from a marker line. */
+std::map<std::string, std::string>
+parseFields(const std::string &line)
+{
+    std::map<std::string, std::string> fields;
+    for (const auto &token : util::split(line, ' ')) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        fields[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    return fields;
+}
+
+uint64_t
+fieldUint(const std::map<std::string, std::string> &fields,
+          const char *key)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end())
+        return 0;
+    return static_cast<uint64_t>(
+        std::strtoull(it->second.c_str(), nullptr, 10));
+}
 
 } // namespace
 
@@ -28,7 +56,14 @@ serializeReport(const CharacterizationReport &report)
     os << kMagic << " chip=" << report.chipName
        << " corner=" << sim::cornerName(report.corner)
        << " freq=" << report.frequency
-       << " watchdog=" << report.watchdogInterventions << '\n';
+       << " watchdog=" << report.watchdogInterventions
+       << " retries=" << report.telemetry.retries
+       << " backoff_events=" << report.telemetry.backoffEvents
+       << " backoff_us=" << report.telemetry.backoffUsTotal
+       << " watchdog_retries=" << report.telemetry.watchdogRetries
+       << " lost=" << report.telemetry.lostMeasurements
+       << " fallback_rounds=" << report.telemetry.fallbackRounds
+       << '\n';
     os << report.toCsv();
     return os.str();
 }
@@ -60,6 +95,25 @@ deserializeReport(const std::string &text,
                 std::strtol(value.c_str(), nullptr, 10));
         } else if (key == "watchdog") {
             report.watchdogInterventions = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "retries") {
+            report.telemetry.retries = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "backoff_events") {
+            report.telemetry.backoffEvents = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "backoff_us") {
+            report.telemetry.backoffUsTotal = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "watchdog_retries") {
+            report.telemetry.watchdogRetries = static_cast<uint64_t>(
+                std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "lost") {
+            report.telemetry.lostMeasurements =
+                static_cast<uint64_t>(
+                    std::strtoll(value.c_str(), nullptr, 10));
+        } else if (key == "fallback_rounds") {
+            report.telemetry.fallbackRounds = static_cast<uint64_t>(
                 std::strtoll(value.c_str(), nullptr, 10));
         }
     }
@@ -168,6 +222,171 @@ loadReport(const std::string &path, const SeverityWeights &weights)
     std::ostringstream text;
     text << in.rdbuf();
     return deserializeReport(text.str(), weights);
+}
+
+std::string
+journalHeaderFor(const FrameworkConfig &config,
+                 const sim::Platform &platform)
+{
+    // Hash every knob that shapes the measurements; a journal
+    // recorded under any other configuration must be refused, or a
+    // resumed sweep would silently mix incompatible cells.
+    Seed hash = util::hashSeed("vmargin-journal-config");
+    for (const auto &workload : config.workloads)
+        hash = util::mixSeed(hash, util::hashSeed(workload.id()));
+    for (const CoreId core : config.cores)
+        hash = util::mixSeed(hash, static_cast<uint64_t>(core));
+    hash = util::mixSeed(hash,
+                         static_cast<uint64_t>(config.frequency));
+    hash = util::mixSeed(hash,
+                         static_cast<uint64_t>(config.startVoltage));
+    hash = util::mixSeed(hash,
+                         static_cast<uint64_t>(config.endVoltage));
+    hash = util::mixSeed(
+        hash, static_cast<uint64_t>(config.runsPerVoltage));
+    hash = util::mixSeed(hash,
+                         static_cast<uint64_t>(config.campaigns));
+    hash = util::mixSeed(hash, config.maxEpochs);
+    hash = util::mixSeed(
+        hash,
+        static_cast<uint64_t>(platform.chip().corner()) << 32 |
+            platform.chip().serial());
+    if (const sim::FaultPlan *plan = platform.faultPlan()) {
+        hash = util::mixSeed(hash, plan->config().seed);
+        for (size_t op = 0; op < sim::kNumFaultOps; ++op)
+            hash = util::mixSeed(
+                hash,
+                static_cast<uint64_t>(
+                    plan->config().probability(
+                        static_cast<sim::FaultOp>(op)) *
+                    1e9));
+    }
+
+    std::ostringstream os;
+    os << kJournalMagic << " chip=" << platform.chip().name()
+       << " corner=" << sim::cornerName(platform.chip().corner())
+       << " freq=" << config.frequency << " config=" << std::hex
+       << hash;
+    return os.str();
+}
+
+CampaignJournal::CampaignJournal(std::string path)
+    : path_(std::move(path))
+{
+    if (path_.empty())
+        util::fatalError("journal: empty path");
+}
+
+void
+CampaignJournal::open(const std::string &header)
+{
+    header_ = header;
+    cells_.clear();
+
+    std::ifstream in(path_);
+    if (!in) {
+        // Fresh journal: create it with the binding header.
+        std::ofstream out(path_);
+        if (!out)
+            util::fatalError("journal: cannot create '" + path_ +
+                             "'");
+        out << header_ << '\n';
+        return;
+    }
+
+    std::string line;
+    if (!std::getline(in, line) || line != header_)
+        util::fatalError(
+            "journal: '" + path_ +
+            "' was recorded for a different experiment "
+            "(header mismatch); refusing to resume from it");
+
+    // Replay completed entries; a CELL without its ENDCELL is the
+    // truncated tail of a killed process and is re-run, not trusted.
+    bool in_cell = false;
+    CellMeasurement pending;
+    while (std::getline(in, line)) {
+        if (util::startsWith(line, kCellMarker)) {
+            const auto fields = parseFields(line);
+            pending = CellMeasurement{};
+            pending.workloadId = fields.count("workload")
+                                     ? fields.at("workload")
+                                     : std::string();
+            pending.core = static_cast<CoreId>(
+                fieldUint(fields, "core"));
+            in_cell = true;
+        } else if (util::startsWith(line, kEndCellMarker)) {
+            if (!in_cell)
+                continue; // stray terminator; ignore
+            const auto fields = parseFields(line);
+            if (fields.count("workload") &&
+                fields.at("workload") != pending.workloadId) {
+                in_cell = false;
+                continue; // corrupt pairing; discard the entry
+            }
+            pending.watchdogInterventions =
+                fieldUint(fields, "watchdog");
+            pending.telemetry.retries = fieldUint(fields, "retries");
+            pending.telemetry.backoffEvents =
+                fieldUint(fields, "backoff_events");
+            pending.telemetry.backoffUsTotal =
+                fieldUint(fields, "backoff_us");
+            pending.telemetry.watchdogRetries =
+                fieldUint(fields, "watchdog_retries");
+            pending.telemetry.lostMeasurements =
+                fieldUint(fields, "lost");
+            pending.runs = parseCampaignLog(pending.rawLog);
+            if (pending.runs.size() == fieldUint(fields, "runs"))
+                cells_.push_back(std::move(pending));
+            in_cell = false;
+        } else if (in_cell) {
+            pending.rawLog.push_back(line);
+        }
+    }
+}
+
+bool
+CampaignJournal::has(const std::string &workload_id,
+                     CoreId core) const
+{
+    return find(workload_id, core) != nullptr;
+}
+
+const CellMeasurement *
+CampaignJournal::find(const std::string &workload_id,
+                      CoreId core) const
+{
+    for (const auto &cell : cells_)
+        if (cell.workloadId == workload_id && cell.core == core)
+            return &cell;
+    return nullptr;
+}
+
+void
+CampaignJournal::append(const CellMeasurement &cell)
+{
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        util::fatalError("journal: cannot append to '" + path_ +
+                         "'");
+    out << kCellMarker << "core=" << cell.core
+        << " workload=" << cell.workloadId << '\n';
+    for (const auto &line : cell.rawLog)
+        out << line << '\n';
+    out << kEndCellMarker << "core=" << cell.core
+        << " workload=" << cell.workloadId
+        << " runs=" << cell.runs.size()
+        << " watchdog=" << cell.watchdogInterventions
+        << " retries=" << cell.telemetry.retries
+        << " backoff_events=" << cell.telemetry.backoffEvents
+        << " backoff_us=" << cell.telemetry.backoffUsTotal
+        << " watchdog_retries=" << cell.telemetry.watchdogRetries
+        << " lost=" << cell.telemetry.lostMeasurements << '\n';
+    out.flush();
+    if (!out)
+        util::fatalError("journal: write to '" + path_ +
+                         "' failed");
+    cells_.push_back(cell);
 }
 
 } // namespace vmargin

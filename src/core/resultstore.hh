@@ -16,6 +16,7 @@
 #define VMARGIN_CORE_RESULTSTORE_HH
 
 #include <string>
+#include <vector>
 
 #include "framework.hh"
 
@@ -46,6 +47,60 @@ void saveReport(const CharacterizationReport &report,
 CharacterizationReport
 loadReport(const std::string &path,
            const SeverityWeights &weights = {});
+
+/**
+ * Header line binding a journal to one experiment: chip identity,
+ * frequency, and a hash of every configuration knob that shapes the
+ * measurements (including the platform's fault plan, if any).
+ * Resuming with a different configuration is refused.
+ */
+std::string journalHeaderFor(const FrameworkConfig &config,
+                             const sim::Platform &platform);
+
+/**
+ * Write-ahead journal of completed (workload, core) cells.
+ *
+ * The paper's campaigns ran for six months; ours must likewise
+ * survive being killed mid-sweep. Each finished cell is appended to
+ * the journal as its raw campaign log plus the recovery counters,
+ * and flushed immediately. On open, completed entries are loaded
+ * (reparsing the raw logs through the normal parsing phase) and a
+ * truncated tail — the cell a killed process was writing — is
+ * discarded, so the framework re-runs exactly the unfinished cells.
+ */
+class CampaignJournal
+{
+  public:
+    explicit CampaignJournal(std::string path);
+
+    /**
+     * Bind to @p header: a fresh file gets it written, an existing
+     * file must start with it (fatal otherwise — the journal
+     * belongs to a different experiment), and its completed entries
+     * are loaded.
+     */
+    void open(const std::string &header);
+
+    /** True when the cell is already journaled. */
+    bool has(const std::string &workload_id, CoreId core) const;
+
+    /** Journaled measurement for the cell, or nullptr. */
+    const CellMeasurement *find(const std::string &workload_id,
+                                CoreId core) const;
+
+    /** Append a finished cell and flush (write-ahead semantics). */
+    void append(const CellMeasurement &cell);
+
+    /** Number of completed cells on record. */
+    size_t size() const { return cells_.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string header_;
+    std::vector<CellMeasurement> cells_;
+};
 
 } // namespace vmargin
 

@@ -1,5 +1,7 @@
 #include "daemon.hh"
 
+#include <algorithm>
+
 #include "core/effects.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -11,7 +13,8 @@ namespace vmargin::sched
 GovernorDaemon::GovernorDaemon(sim::Platform *platform,
                                VoltageGovernor governor)
     : platform_(platform), governor_(std::move(governor)),
-      slimpro_(platform), watchdog_(platform)
+      slimpro_(platform), watchdog_(platform),
+      managed_(platform, &slimpro_, &watchdog_)
 {
     if (!platform_)
         util::panicf("GovernorDaemon: null platform");
@@ -37,12 +40,27 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
                     int rounds, Seed seed,
                     const DaemonOptions &options)
 {
+    // rounds is also the divisor of the final averages; reject a
+    // zero/negative count before any other work.
+    if (rounds < 1)
+        util::fatalError("daemon: rounds must be >= 1");
     if (placements.empty())
         util::fatalError("daemon: empty placement");
     for (const auto &placement : placements)
         if (!profiles_.count(placement.workloadId))
             util::fatalError("daemon: no registered profile for '" +
                              placement.workloadId + "'");
+    options.retry.validate();
+    if (options.clampAfterAbnormalRounds < 1)
+        util::fatalError(
+            "daemon: clampAfterAbnormalRounds must be >= 1");
+
+    managed_.setPolicy(options.retry);
+    // Daemon fault draws depend only on the run's seed, never on
+    // whatever consulted the plan before this run.
+    if (sim::FaultPlan *plan = platform_->faultPlan())
+        plan->scopeTo(util::mixSeed(
+            util::hashSeed("daemon-fault-plan"), seed));
 
     // Observations are fixed per placement (profiles collected at
     // nominal conditions, like the paper's offline profiling).
@@ -63,19 +81,32 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
 
     DaemonResult result;
     const uint64_t resets_before = watchdog_.interventions();
+    const RecoveryTelemetry telemetry_before = managed_.telemetry();
     double voltage_sum = 0.0;
     double total_energy = 0.0;
     double total_nominal = 0.0;
+    MilliVolt clamp = 0;
+    int consecutive_abnormal = 0;
 
     for (int round = 0; round < rounds; ++round) {
-        watchdog_.ensureResponsive("daemon round start");
+        managed_.revive(sim::WatchdogContext::DaemonRoundStart);
 
         RoundRecord record;
         record.round = round;
-        record.voltage = governor_.decide(observations);
-        if (!slimpro_.setPmdVoltage(record.voltage))
-            util::panicf("daemon: SLIMpro rejected ",
-                         record.voltage, " mV");
+        const MilliVolt decision = governor_.decide(observations);
+        record.voltage =
+            std::min(options.safeVoltage,
+                     static_cast<MilliVolt>(decision + clamp));
+        if (!managed_.setPmdVoltage(record.voltage)) {
+            // Retry budget exhausted: degrade instead of dying —
+            // serve this round at the safe voltage (a power cycle
+            // inside the retries already reset to nominal; try the
+            // explicit setpoint anyway for the clean-failure case).
+            managed_.setPmdVoltage(options.safeVoltage);
+            record.voltage = options.safeVoltage;
+            record.nominalFallback = true;
+            ++result.fallbackRounds;
+        }
 
         for (const auto &placement : placements) {
             if (!platform_->responsive()) {
@@ -94,8 +125,9 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
             const sim::RunResult run = platform_->runWorkload(
                 placement.core, workload, run_seed, exec);
 
-            const Celsius temp =
-                platform_->thermal().temperature();
+            // Read through the SLIMpro sensor path (a stale read
+            // fault returns the previous sample, like real I2C).
+            const Celsius temp = slimpro_.readTemperature();
             record.energyJoule +=
                 accountant.runEnergy(placement.core, run, temp)
                     .total();
@@ -113,7 +145,7 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
             // preserved at the price of the recovery energy.
             if (options.reexecuteOnSdc && run.completed &&
                 !run.outputMatches && platform_->responsive()) {
-                slimpro_.setPmdVoltage(options.safeVoltage);
+                managed_.setPmdVoltage(options.safeVoltage);
                 const sim::RunResult redo = platform_->runWorkload(
                     placement.core, workload,
                     util::mixSeed(run_seed, 0x5AFEULL), exec);
@@ -125,13 +157,13 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
                 // Back to the round's operating point for the
                 // remaining tasks.
                 if (platform_->responsive())
-                    slimpro_.setPmdVoltage(record.voltage);
+                    managed_.setPmdVoltage(record.voltage);
             }
         }
 
         // Safe data collection: back to nominal between rounds.
         if (platform_->responsive())
-            slimpro_.setPmdVoltage(980);
+            managed_.setPmdVoltage(options.safeVoltage);
 
         voltage_sum += static_cast<double>(record.voltage);
         total_energy += record.energyJoule;
@@ -141,11 +173,27 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
         result.reexecutions +=
             static_cast<uint64_t>(record.reexecutions);
         result.rounds.push_back(record);
+
+        // Graceful degradation: a streak of bad rounds means the
+        // governor is undervolting past what this machine tolerates
+        // right now — ratchet its decisions upward and keep serving.
+        if (record.anyAbnormal || record.crashed) {
+            if (++consecutive_abnormal >=
+                options.clampAfterAbnormalRounds) {
+                clamp += options.clampStepMv;
+                consecutive_abnormal = 0;
+            }
+        } else {
+            consecutive_abnormal = 0;
+        }
     }
 
-    watchdog_.ensureResponsive("daemon end");
+    managed_.revive(sim::WatchdogContext::DaemonEnd);
     result.watchdogResets =
         watchdog_.interventions() - resets_before;
+    result.governorClampMv = clamp;
+    result.telemetry = managed_.telemetry().since(telemetry_before);
+    result.telemetry.fallbackRounds = result.fallbackRounds;
     result.averageVoltage =
         voltage_sum / static_cast<double>(rounds);
     result.energySavingsPercent =

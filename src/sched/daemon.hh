@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/profiler.hh"
+#include "core/recovery.hh"
 #include "core/tradeoff.hh"
 #include "governor.hh"
 #include "power/energy.hh"
@@ -40,6 +41,10 @@ struct RoundRecord
     bool anyAbnormal = false;  ///< SDC/CE/UE/AC in the round
     bool crashed = false;      ///< machine went down this round
     int reexecutions = 0;      ///< SDC recoveries this round
+
+    /** True when the governor's setpoint could not be applied within
+     *  the retry budget and the round ran at the safe voltage. */
+    bool nominalFallback = false;
 };
 
 /** Daemon behaviour knobs. */
@@ -59,6 +64,21 @@ struct DaemonOptions
 
     /** Voltage used for re-executions (and known-safe work). */
     MilliVolt safeVoltage = 980;
+
+    /** Retry discipline for every management-plane transaction. */
+    RetryPolicy retry;
+
+    /**
+     * Graceful degradation: after this many *consecutive* abnormal
+     * or crashed rounds the daemon stops trusting the governor at
+     * face value and clamps its decisions upward by clampStepMv
+     * (cumulatively, capped at safeVoltage). The daemon keeps
+     * serving rounds instead of dying with the margin.
+     */
+    int clampAfterAbnormalRounds = 3;
+
+    /** Upward clamp growth per trigger. */
+    MilliVolt clampStepMv = 10;
 };
 
 /** Aggregate daemon statistics. */
@@ -71,6 +91,17 @@ struct DaemonResult
     uint64_t crashes = 0;
     uint64_t watchdogResets = 0;
     uint64_t reexecutions = 0; ///< SDC recoveries (if enabled)
+
+    /** Rounds served at the safe fallback voltage because the
+     *  governor's setpoint could not be applied. */
+    uint64_t fallbackRounds = 0;
+
+    /** Final upward clamp on governor decisions (0 = never
+     *  triggered). */
+    MilliVolt governorClampMv = 0;
+
+    /** Recovery counters for this run. */
+    RecoveryTelemetry telemetry;
 };
 
 /** The closed-loop daemon. */
@@ -113,6 +144,7 @@ class GovernorDaemon
     VoltageGovernor governor_;
     sim::SlimPro slimpro_;
     sim::Watchdog watchdog_;
+    ManagedSlimPro managed_;
     std::map<std::string, WorkloadCounters> profiles_;
 };
 

@@ -1,0 +1,121 @@
+#include "fault_injection.hh"
+
+#include "util/logging.hh"
+
+namespace vmargin::sim
+{
+
+namespace
+{
+
+/** Fixed per-operation stream tags (never reorder: they are part of
+ *  the reproducibility contract of recorded experiments). */
+constexpr uint64_t kOpTag[kNumFaultOps] = {
+    0x12C0FA11ULL, // I2cWrite
+    0x57A1E5EAULL, // StaleRead
+    0x51EE9A46ULL, // ManagementHang
+    0xD09A155ULL,  // WatchdogMiss
+};
+
+util::Rng
+streamFor(const FaultPlanConfig &config, size_t op, Seed scope)
+{
+    Seed seed = util::mixSeed(config.seed, kOpTag[op]);
+    seed = util::mixSeed(seed, scope);
+    return util::Rng(seed);
+}
+
+} // namespace
+
+const char *
+faultOpName(FaultOp op)
+{
+    switch (op) {
+    case FaultOp::I2cWrite:
+        return "i2c-write";
+    case FaultOp::StaleRead:
+        return "stale-read";
+    case FaultOp::ManagementHang:
+        return "management-hang";
+    case FaultOp::WatchdogMiss:
+        return "watchdog-miss";
+    }
+    return "unknown";
+}
+
+double
+FaultPlanConfig::probability(FaultOp op) const
+{
+    switch (op) {
+    case FaultOp::I2cWrite:
+        return i2cWriteFailure;
+    case FaultOp::StaleRead:
+        return staleRead;
+    case FaultOp::ManagementHang:
+        return managementHang;
+    case FaultOp::WatchdogMiss:
+        return watchdogMiss;
+    }
+    return 0.0;
+}
+
+bool
+FaultPlanConfig::benign() const
+{
+    return i2cWriteFailure == 0.0 && staleRead == 0.0 &&
+           managementHang == 0.0 && watchdogMiss == 0.0;
+}
+
+void
+FaultPlanConfig::validate() const
+{
+    for (size_t op = 0; op < kNumFaultOps; ++op) {
+        const double p = probability(static_cast<FaultOp>(op));
+        if (p < 0.0 || p > 1.0)
+            util::fatalError(util::concat(
+                "fault plan: probability for ",
+                faultOpName(static_cast<FaultOp>(op)), " is ", p,
+                ", must be within [0, 1]"));
+    }
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig &config)
+    : config_(config),
+      streams_{streamFor(config, 0, 0), streamFor(config, 1, 0),
+               streamFor(config, 2, 0), streamFor(config, 3, 0)}
+{
+    config_.validate();
+}
+
+void
+FaultPlan::scopeTo(Seed scope)
+{
+    for (size_t op = 0; op < kNumFaultOps; ++op)
+        streams_[op] = streamFor(config_, op, scope);
+}
+
+bool
+FaultPlan::shouldInject(FaultOp op)
+{
+    const size_t index = static_cast<size_t>(op);
+    ++consulted_[index];
+    const bool fire =
+        streams_[index].bernoulli(config_.probability(op));
+    if (fire)
+        ++injected_[index];
+    return fire;
+}
+
+uint64_t
+FaultPlan::consulted(FaultOp op) const
+{
+    return consulted_[static_cast<size_t>(op)];
+}
+
+uint64_t
+FaultPlan::injected(FaultOp op) const
+{
+    return injected_[static_cast<size_t>(op)];
+}
+
+} // namespace vmargin::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Management-plane fault injection.
+ *
+ * The follow-up framework paper (Papadimitriou et al.,
+ * arXiv:2106.09975) reports that the I2C management path itself is
+ * flaky while the machine operates below nominal voltage: setpoint
+ * transactions are NAKed, sensor reads return stale values, and the
+ * external watchdog occasionally misses a needed power cycle. A
+ * FaultPlan reproduces that hostility deterministically: every
+ * operation class draws from its own seeded stream, and the
+ * campaign/daemon layers rebase the streams on the experiment
+ * coordinates (scopeTo) so a faulty experiment replays bit-identically
+ * regardless of execution order — exactly like the run seeds.
+ */
+
+#ifndef VMARGIN_SIM_FAULT_INJECTION_HH
+#define VMARGIN_SIM_FAULT_INJECTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace vmargin::sim
+{
+
+/** Management-plane operation classes that can misbehave. */
+enum class FaultOp : uint8_t
+{
+    I2cWrite,       ///< voltage/frequency/fan setpoint NAKed
+    StaleRead,      ///< sensor read returns the previous value
+    ManagementHang, ///< transaction wedges the machine silently
+    WatchdogMiss,   ///< needed power cycle does not happen this poll
+};
+
+/** Number of FaultOp classes (stream count). */
+inline constexpr size_t kNumFaultOps = 4;
+
+/** Printable operation-class name. */
+const char *faultOpName(FaultOp op);
+
+/** Per-operation injection probabilities plus the plan seed. */
+struct FaultPlanConfig
+{
+    double i2cWriteFailure = 0.0; ///< P(setpoint transaction NAK)
+    double staleRead = 0.0;       ///< P(sensor read is stale)
+    double managementHang = 0.0;  ///< P(transaction hangs machine)
+    double watchdogMiss = 0.0;    ///< P(power cycle missed per poll)
+    Seed seed = 0;                ///< plan-level seed material
+
+    /** Probability knob for @p op. */
+    double probability(FaultOp op) const;
+
+    /** True when every probability is zero (plan is a no-op). */
+    bool benign() const;
+
+    /** Fatal on probabilities outside [0, 1]. */
+    void validate() const;
+};
+
+/**
+ * Deterministic, seeded fault source consulted by SlimPro and
+ * Watchdog. One independent xoshiro stream per operation class keeps
+ * the classes from perturbing each other's draws.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultPlanConfig &config);
+
+    /**
+     * Rebase every per-operation stream on (plan seed, @p scope).
+     * Callers pass a hash of their experiment coordinates so each
+     * campaign/daemon invocation sees a fault sequence that is a
+     * pure function of what is being measured, independent of any
+     * earlier draws on this plan.
+     */
+    void scopeTo(Seed scope);
+
+    /**
+     * Draw once from @p op's stream; true when the fault fires.
+     * Advances only that operation's stream.
+     */
+    bool shouldInject(FaultOp op);
+
+    /** Draws made against @p op since construction. */
+    uint64_t consulted(FaultOp op) const;
+
+    /** Faults injected for @p op since construction. */
+    uint64_t injected(FaultOp op) const;
+
+    const FaultPlanConfig &config() const { return config_; }
+
+  private:
+    FaultPlanConfig config_;
+    std::array<util::Rng, kNumFaultOps> streams_;
+    std::array<uint64_t, kNumFaultOps> consulted_{};
+    std::array<uint64_t, kNumFaultOps> injected_{};
+};
+
+} // namespace vmargin::sim
+
+#endif // VMARGIN_SIM_FAULT_INJECTION_HH

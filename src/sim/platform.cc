@@ -61,4 +61,17 @@ Platform::powerOff()
     state_ = MachineState::Off;
 }
 
+void
+Platform::hang()
+{
+    if (state_ == MachineState::Running)
+        state_ = MachineState::Unresponsive;
+}
+
+void
+Platform::installFaultPlan(const FaultPlanConfig &config)
+{
+    faultPlan_ = std::make_unique<FaultPlan>(config);
+}
+
 } // namespace vmargin::sim

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "chip.hh"
+#include "fault_injection.hh"
 #include "thermal.hh"
 
 namespace vmargin::sim
@@ -75,11 +76,31 @@ class Platform
     /** Cut power without rebooting. */
     void powerOff();
 
+    /**
+     * Wedge a running machine without any crash report — the effect
+     * of a management transaction hanging the kernel's I2C path.
+     */
+    void hang();
+
+    /**
+     * Install a management-plane fault plan (replaces any existing
+     * one). SlimPro and Watchdog consult it on every transaction.
+     */
+    void installFaultPlan(const FaultPlanConfig &config);
+
+    /** Remove the fault plan (management plane perfectly reliable). */
+    void clearFaultPlan() { faultPlan_.reset(); }
+
+    /** Installed fault plan, or nullptr. */
+    FaultPlan *faultPlan() { return faultPlan_.get(); }
+    const FaultPlan *faultPlan() const { return faultPlan_.get(); }
+
   private:
     std::unique_ptr<Chip> chip_;
     ThermalModel thermal_;
     MachineState state_ = MachineState::Off;
     uint64_t bootCount_ = 0;
+    std::unique_ptr<FaultPlan> faultPlan_;
 };
 
 } // namespace vmargin::sim

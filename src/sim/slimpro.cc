@@ -21,9 +21,32 @@ SlimPro::managementReady() const
 }
 
 bool
+SlimPro::writeTransactionFails()
+{
+    FaultPlan *plan = platform_->faultPlan();
+    if (!plan)
+        return false;
+    if (plan->shouldInject(FaultOp::ManagementHang)) {
+        // The transaction wedges the kernel I2C driver: the write is
+        // lost and the machine stops answering on the console. Only
+        // the watchdog notices.
+        platform_->hang();
+        return true;
+    }
+    return plan->shouldInject(FaultOp::I2cWrite);
+}
+
+bool
+SlimPro::readIsStale() const
+{
+    FaultPlan *plan = platform_->faultPlan();
+    return plan && plan->shouldInject(FaultOp::StaleRead);
+}
+
+bool
 SlimPro::setPmdVoltage(MilliVolt mv)
 {
-    if (!managementReady())
+    if (!managementReady() || writeTransactionFails())
         return false;
     return platform_->chip().pmdDomain().set(mv);
 }
@@ -31,7 +54,7 @@ SlimPro::setPmdVoltage(MilliVolt mv)
 bool
 SlimPro::setSocVoltage(MilliVolt mv)
 {
-    if (!managementReady())
+    if (!managementReady() || writeTransactionFails())
         return false;
     return platform_->chip().socDomain().set(mv);
 }
@@ -39,7 +62,7 @@ SlimPro::setSocVoltage(MilliVolt mv)
 bool
 SlimPro::setPmdFrequency(PmdId pmd, MegaHertz mhz)
 {
-    if (!managementReady())
+    if (!managementReady() || writeTransactionFails())
         return false;
     return platform_->chip().pmd(pmd).clock().set(mhz);
 }
@@ -56,13 +79,23 @@ SlimPro::setAllFrequencies(MegaHertz mhz)
 MilliVolt
 SlimPro::pmdVoltage() const
 {
-    return platform_->chip().pmdDomain().voltage();
+    const MilliVolt fresh = platform_->chip().pmdDomain().voltage();
+    if (hasLastPmdVoltage_ && readIsStale())
+        return lastPmdVoltage_;
+    lastPmdVoltage_ = fresh;
+    hasLastPmdVoltage_ = true;
+    return fresh;
 }
 
 MilliVolt
 SlimPro::socVoltage() const
 {
-    return platform_->chip().socDomain().voltage();
+    const MilliVolt fresh = platform_->chip().socDomain().voltage();
+    if (hasLastSocVoltage_ && readIsStale())
+        return lastSocVoltage_;
+    lastSocVoltage_ = fresh;
+    hasLastSocVoltage_ = true;
+    return fresh;
 }
 
 MegaHertz
@@ -74,13 +107,21 @@ SlimPro::pmdFrequency(PmdId pmd) const
 Celsius
 SlimPro::readTemperature() const
 {
-    return platform_->thermal().temperature();
+    const Celsius fresh = platform_->thermal().temperature();
+    if (hasLastTemperature_ && readIsStale())
+        return lastTemperature_;
+    lastTemperature_ = fresh;
+    hasLastTemperature_ = true;
+    return fresh;
 }
 
-void
+bool
 SlimPro::setFanTarget(Celsius target)
 {
+    if (!managementReady() || writeTransactionFails())
+        return false;
     platform_->thermal().setTarget(target);
+    return true;
 }
 
 const EdacLog &

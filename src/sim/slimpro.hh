@@ -50,11 +50,18 @@ class SlimPro
     /** Current frequency of @p pmd. */
     MegaHertz pmdFrequency(PmdId pmd) const;
 
-    /** Package temperature sensor. */
+    /**
+     * Package temperature sensor. Under an installed fault plan the
+     * read may return the previously sampled value (a stale I2C
+     * sensor read) instead of the live one.
+     */
     Celsius readTemperature() const;
 
-    /** Ask the fan controller to hold @p target. */
-    void setFanTarget(Celsius target);
+    /**
+     * Ask the fan controller to hold @p target. Returns false when
+     * the transaction fails (machine down or injected fault).
+     */
+    bool setFanTarget(Celsius target);
 
     /** Error log access (the EDAC driver's data source). */
     const EdacLog &errorLog() const;
@@ -65,7 +72,23 @@ class SlimPro
   private:
     bool managementReady() const;
 
+    /**
+     * Consult the fault plan for one write transaction. Returns true
+     * when the transaction must fail; a ManagementHang additionally
+     * wedges the machine.
+     */
+    bool writeTransactionFails();
+
+    /** True when a read should return its stale cached value. */
+    bool readIsStale() const;
+
     Platform *platform_;
+    mutable Celsius lastTemperature_ = 0.0;
+    mutable bool hasLastTemperature_ = false;
+    mutable MilliVolt lastPmdVoltage_ = 0;
+    mutable bool hasLastPmdVoltage_ = false;
+    mutable MilliVolt lastSocVoltage_ = 0;
+    mutable bool hasLastSocVoltage_ = false;
 };
 
 } // namespace vmargin::sim

@@ -5,6 +5,40 @@
 namespace vmargin::sim
 {
 
+const char *
+watchdogContextName(WatchdogContext context)
+{
+    switch (context) {
+    case WatchdogContext::Poll:
+        return "poll";
+    case WatchdogContext::CampaignStart:
+        return "campaign-start";
+    case WatchdogContext::PreRunCheck:
+        return "pre-run-check";
+    case WatchdogContext::CampaignEnd:
+        return "campaign-end";
+    case WatchdogContext::DaemonRoundStart:
+        return "daemon-round-start";
+    case WatchdogContext::DaemonEnd:
+        return "daemon-end";
+    case WatchdogContext::RecoveryPoll:
+        return "recovery-poll";
+    }
+    return "unknown";
+}
+
+const char *
+watchdogOutcomeName(WatchdogOutcome outcome)
+{
+    switch (outcome) {
+    case WatchdogOutcome::PowerCycled:
+        return "power-cycled";
+    case WatchdogOutcome::MissedCycle:
+        return "missed-cycle";
+    }
+    return "unknown";
+}
+
 Watchdog::Watchdog(Platform *platform) : platform_(platform)
 {
     if (!platform_)
@@ -12,17 +46,27 @@ Watchdog::Watchdog(Platform *platform) : platform_(platform)
 }
 
 bool
-Watchdog::ensureResponsive(const std::string &context)
+Watchdog::ensureResponsive(WatchdogContext context)
 {
     if (platform_->responsive())
         return false;
 
     WatchdogEvent event;
     event.sequence = events_.size() + 1;
-    event.reason = context;
+    event.context = context;
     event.pmdVoltage = platform_->chip().pmdDomain().voltage();
-    events_.push_back(event);
 
+    FaultPlan *plan = platform_->faultPlan();
+    if (plan && plan->shouldInject(FaultOp::WatchdogMiss)) {
+        event.outcome = WatchdogOutcome::MissedCycle;
+        events_.push_back(event);
+        ++missedCycles_;
+        return false; // machine stays down; caller must poll again
+    }
+
+    event.outcome = WatchdogOutcome::PowerCycled;
+    events_.push_back(event);
+    ++powerCycles_;
     platform_->powerCycle();
     return true;
 }

@@ -171,6 +171,95 @@ TEST_F(DaemonTest, ReexecutionRecoversSdcs)
               raw.energySavingsPercent);
 }
 
+TEST_F(DaemonTest, FatalOnNonPositiveRounds)
+{
+    // averageVoltage divides by rounds; a zero or negative count
+    // must be rejected up front, not produce NaN statistics.
+    GovernorDaemon daemon(platform_, trainedGovernor(0.0, 1));
+    for (const auto &profile : *profiles_)
+        daemon.registerProfile(profile);
+    const std::vector<Placement> placements = {{"bwaves/ref", 0}};
+    EXPECT_EXIT(daemon.run(placements, 0, 1),
+                ::testing::ExitedWithCode(1),
+                "rounds must be >= 1");
+    EXPECT_EXIT(daemon.run(placements, -3, 1),
+                ::testing::ExitedWithCode(1),
+                "rounds must be >= 1");
+}
+
+TEST_F(DaemonTest, FatalOnBadClampThreshold)
+{
+    GovernorDaemon daemon(platform_, trainedGovernor(0.0, 1));
+    for (const auto &profile : *profiles_)
+        daemon.registerProfile(profile);
+    DaemonOptions options;
+    options.clampAfterAbnormalRounds = 0;
+    EXPECT_EXIT(daemon.run({{"bwaves/ref", 0}}, 1, 1, options),
+                ::testing::ExitedWithCode(1),
+                "clampAfterAbnormalRounds");
+}
+
+TEST_F(DaemonTest, ClampsGovernorAfterAbnormalStreak)
+{
+    // A grossly over-tolerant governor misbehaves every round; with
+    // a one-round clamp trigger the daemon must ratchet decisions
+    // upward instead of repeating the same unsafe setpoint forever.
+    GovernorDaemon reckless(platform_, trainedGovernor(17.0, 0));
+    for (const auto &profile : *profiles_)
+        reckless.registerProfile(profile);
+    DaemonOptions options;
+    options.maxEpochs = 8;
+    options.clampAfterAbnormalRounds = 1;
+    options.clampStepMv = 20;
+    const auto result =
+        reckless.run({{"bwaves/ref", 0}, {"namd/ref", 4}}, 6, 11,
+                     options);
+    ASSERT_GT(result.abnormalRounds, 0u)
+        << "tolerance 17 must misbehave for this test to bite";
+    EXPECT_GT(result.governorClampMv, 0);
+    // The clamp is monotone: later rounds never dip below earlier
+    // ones by more than the governor's own decision movement allows;
+    // in particular the final round sits above the first.
+    EXPECT_GE(result.rounds.back().voltage,
+              result.rounds.front().voltage);
+}
+
+TEST(DaemonResilience, ServesEveryRoundUnderTotalNak)
+{
+    sim::Platform platform(sim::XGene2Params{},
+                           sim::ChipCorner::TTT, 2);
+    sim::FaultPlanConfig plan;
+    plan.i2cWriteFailure = 1.0;
+    plan.seed = 21;
+    platform.installFaultPlan(plan);
+
+    // An untrained governor pins nominal; the point here is purely
+    // that with every SLIMpro write NAKed the daemon neither panics
+    // nor stops: it books each round as a fallback round and keeps
+    // serving.
+    GovernorDaemon daemon(&platform, VoltageGovernor{});
+    Profiler profiler(&platform);
+    daemon.registerProfile(
+        profiler.profile(wl::findWorkload("bwaves/ref"), 0, 8));
+
+    DaemonOptions options;
+    options.maxEpochs = 8;
+    const auto result =
+        daemon.run({{"bwaves/ref", 0}}, 5, 3, options);
+
+    ASSERT_EQ(result.rounds.size(), 5u);
+    EXPECT_EQ(result.fallbackRounds, 5u);
+    EXPECT_EQ(result.telemetry.fallbackRounds, 5u);
+    EXPECT_GT(result.telemetry.retries, 0u);
+    EXPECT_EQ(result.crashes, 0u)
+        << "the machine never left nominal voltage";
+    for (const auto &round : result.rounds) {
+        EXPECT_TRUE(round.nominalFallback);
+        EXPECT_EQ(round.voltage, 980);
+    }
+    EXPECT_TRUE(platform.responsive());
+}
+
 TEST_F(DaemonTest, FatalOnMissingProfile)
 {
     GovernorDaemon daemon(platform_, trainedGovernor(0.0, 1));

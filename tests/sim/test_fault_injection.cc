@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the management-plane fault injection layer: the
+ * deterministic FaultPlan itself and its wiring into the SLIMpro
+ * interface and the external watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injection.hh"
+#include "sim/platform.hh"
+#include "sim/slimpro.hh"
+#include "sim/watchdog.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin::sim
+{
+namespace
+{
+
+Platform
+machine()
+{
+    return Platform(XGene2Params{}, ChipCorner::TTT, 1);
+}
+
+FaultPlanConfig
+hostile(Seed seed)
+{
+    FaultPlanConfig config;
+    config.i2cWriteFailure = 0.3;
+    config.staleRead = 0.3;
+    config.managementHang = 0.3;
+    config.watchdogMiss = 0.3;
+    config.seed = seed;
+    return config;
+}
+
+TEST(FaultPlanConfig, BenignByDefault)
+{
+    FaultPlanConfig config;
+    EXPECT_TRUE(config.benign());
+    config.validate(); // no-op probabilities are valid
+
+    config.staleRead = 0.01;
+    EXPECT_FALSE(config.benign());
+}
+
+TEST(FaultPlanConfig, ProbabilityPerOp)
+{
+    FaultPlanConfig config;
+    config.i2cWriteFailure = 0.1;
+    config.staleRead = 0.2;
+    config.managementHang = 0.3;
+    config.watchdogMiss = 0.4;
+    EXPECT_DOUBLE_EQ(config.probability(FaultOp::I2cWrite), 0.1);
+    EXPECT_DOUBLE_EQ(config.probability(FaultOp::StaleRead), 0.2);
+    EXPECT_DOUBLE_EQ(config.probability(FaultOp::ManagementHang),
+                     0.3);
+    EXPECT_DOUBLE_EQ(config.probability(FaultOp::WatchdogMiss), 0.4);
+}
+
+TEST(FaultPlanConfigDeath, RejectsOutOfRangeProbability)
+{
+    FaultPlanConfig config;
+    config.i2cWriteFailure = 1.5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "fault plan");
+}
+
+TEST(FaultPlan, SameSeedSameSequence)
+{
+    FaultPlan a(hostile(42));
+    FaultPlan b(hostile(42));
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.shouldInject(FaultOp::I2cWrite),
+                  b.shouldInject(FaultOp::I2cWrite));
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge)
+{
+    FaultPlan a(hostile(42));
+    FaultPlan b(hostile(43));
+    int disagreements = 0;
+    for (int i = 0; i < 200; ++i)
+        disagreements += a.shouldInject(FaultOp::StaleRead) !=
+                         b.shouldInject(FaultOp::StaleRead);
+    EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultPlan, ScopeToRebasesStreams)
+{
+    // Drawing any number of times then rescoping must reproduce the
+    // exact sequence of a fresh plan scoped the same way — the
+    // property campaign replay determinism rests on.
+    FaultPlan warm(hostile(7));
+    for (int i = 0; i < 123; ++i)
+        warm.shouldInject(FaultOp::I2cWrite);
+    warm.scopeTo(0xABCDULL);
+
+    FaultPlan fresh(hostile(7));
+    fresh.scopeTo(0xABCDULL);
+
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(warm.shouldInject(FaultOp::I2cWrite),
+                  fresh.shouldInject(FaultOp::I2cWrite));
+}
+
+TEST(FaultPlan, OpStreamsAreIndependent)
+{
+    // Interleaving draws on another op must not change a stream.
+    FaultPlan solo(hostile(9));
+    std::vector<bool> expected;
+    for (int i = 0; i < 100; ++i)
+        expected.push_back(solo.shouldInject(FaultOp::WatchdogMiss));
+
+    FaultPlan mixed(hostile(9));
+    for (int i = 0; i < 100; ++i) {
+        mixed.shouldInject(FaultOp::I2cWrite);
+        mixed.shouldInject(FaultOp::StaleRead);
+        EXPECT_EQ(mixed.shouldInject(FaultOp::WatchdogMiss),
+                  expected[static_cast<size_t>(i)]);
+    }
+}
+
+TEST(FaultPlan, ZeroProbabilityNeverFires)
+{
+    FaultPlanConfig config;
+    config.seed = 5;
+    FaultPlan plan(config);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_FALSE(plan.shouldInject(FaultOp::I2cWrite));
+    EXPECT_EQ(plan.consulted(FaultOp::I2cWrite), 500u);
+    EXPECT_EQ(plan.injected(FaultOp::I2cWrite), 0u);
+}
+
+TEST(FaultPlan, CertainProbabilityAlwaysFires)
+{
+    FaultPlanConfig config;
+    config.i2cWriteFailure = 1.0;
+    config.seed = 5;
+    FaultPlan plan(config);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(plan.shouldInject(FaultOp::I2cWrite));
+    EXPECT_EQ(plan.injected(FaultOp::I2cWrite), 100u);
+}
+
+TEST(FaultPlan, InjectionRateTracksProbability)
+{
+    FaultPlanConfig config;
+    config.staleRead = 0.25;
+    config.seed = 11;
+    FaultPlan plan(config);
+    const int draws = 4000;
+    int fired = 0;
+    for (int i = 0; i < draws; ++i)
+        fired += plan.shouldInject(FaultOp::StaleRead) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(fired) / draws, 0.25, 0.03);
+}
+
+TEST(SlimProFaults, I2cWriteFailureNaksSetpoint)
+{
+    Platform p = machine();
+    FaultPlanConfig config;
+    config.i2cWriteFailure = 1.0;
+    config.seed = 3;
+    p.installFaultPlan(config);
+
+    SlimPro mgmt(&p);
+    EXPECT_FALSE(mgmt.setPmdVoltage(900)) << "every write NAKed";
+    EXPECT_TRUE(p.responsive()) << "a NAK does not hang the machine";
+
+    p.clearFaultPlan();
+    EXPECT_TRUE(mgmt.setPmdVoltage(900));
+}
+
+TEST(SlimProFaults, ManagementHangWedgesMachine)
+{
+    Platform p = machine();
+    FaultPlanConfig config;
+    config.managementHang = 1.0;
+    config.seed = 3;
+    p.installFaultPlan(config);
+
+    SlimPro mgmt(&p);
+    EXPECT_FALSE(mgmt.setPmdVoltage(900));
+    EXPECT_FALSE(p.responsive())
+        << "a hung transaction silently takes the machine down";
+}
+
+TEST(SlimProFaults, StaleReadReturnsPreviousSample)
+{
+    Platform p = machine();
+    SlimPro mgmt(&p);
+    ASSERT_TRUE(mgmt.setPmdVoltage(900));
+    const MilliVolt first = mgmt.pmdVoltage(); // no plan: live value
+    EXPECT_EQ(first, 900);
+
+    FaultPlanConfig config;
+    config.staleRead = 1.0;
+    config.seed = 3;
+    p.installFaultPlan(config);
+
+    // The domain moves but every read is stale, pinned at the last
+    // value sampled before the plan went hostile.
+    p.chip().pmdDomain().set(880);
+    EXPECT_EQ(mgmt.pmdVoltage(), 900);
+    p.chip().pmdDomain().set(860);
+    EXPECT_EQ(mgmt.pmdVoltage(), 900);
+}
+
+TEST(WatchdogFaults, MissedCycleLeavesMachineDown)
+{
+    Platform p = machine();
+    FaultPlanConfig config;
+    config.watchdogMiss = 1.0;
+    config.seed = 3;
+    p.installFaultPlan(config);
+
+    Watchdog dog(&p);
+    p.hang();
+    ASSERT_FALSE(p.responsive());
+
+    EXPECT_FALSE(dog.ensureResponsive(WatchdogContext::Poll));
+    EXPECT_FALSE(p.responsive()) << "the press was missed";
+    EXPECT_EQ(dog.interventions(), 0u);
+    EXPECT_EQ(dog.missedCycles(), 1u);
+    ASSERT_EQ(dog.events().size(), 1u);
+    EXPECT_EQ(dog.events()[0].outcome, WatchdogOutcome::MissedCycle);
+
+    // Without the plan, the next poll succeeds.
+    p.clearFaultPlan();
+    EXPECT_TRUE(dog.ensureResponsive(WatchdogContext::Poll));
+    EXPECT_TRUE(p.responsive());
+    EXPECT_EQ(dog.interventions(), 1u);
+}
+
+TEST(WatchdogFaults, HealthyMachineConsumesNoMissDraws)
+{
+    Platform p = machine();
+    p.installFaultPlan(hostile(3));
+    Watchdog dog(&p);
+    EXPECT_FALSE(dog.ensureResponsive(WatchdogContext::Poll));
+    EXPECT_EQ(p.faultPlan()->consulted(FaultOp::WatchdogMiss), 0u)
+        << "miss faults only apply to needed power cycles";
+}
+
+} // namespace
+} // namespace vmargin::sim

@@ -94,7 +94,7 @@ TEST(Watchdog, NoInterventionWhenHealthy)
 {
     Platform p = machine();
     Watchdog dog(&p);
-    EXPECT_FALSE(dog.ensureResponsive("poll"));
+    EXPECT_FALSE(dog.ensureResponsive(WatchdogContext::Poll));
     EXPECT_EQ(dog.interventions(), 0u);
 }
 
@@ -108,10 +108,11 @@ TEST(Watchdog, PowerCyclesHungMachine)
     (void)p.runWorkload(0, wl::findWorkload("bwaves/ref"), 1, trim);
     ASSERT_FALSE(p.responsive());
 
-    EXPECT_TRUE(dog.ensureResponsive("timeout waiting for output"));
+    EXPECT_TRUE(dog.ensureResponsive(WatchdogContext::PreRunCheck));
     EXPECT_TRUE(p.responsive());
     ASSERT_EQ(dog.interventions(), 1u);
-    EXPECT_EQ(dog.events()[0].reason, "timeout waiting for output");
+    EXPECT_EQ(dog.events()[0].context, WatchdogContext::PreRunCheck);
+    EXPECT_EQ(dog.events()[0].outcome, WatchdogOutcome::PowerCycled);
     EXPECT_EQ(dog.events()[0].pmdVoltage, 820)
         << "event records the voltage that killed the machine";
 }
