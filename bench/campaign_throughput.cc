@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Parallel campaign executor throughput: cells/second at 1, 2, 4 and
+ * N workers over an 8-cell sweep (2 workloads x 4 cores), plus the
+ * determinism check that makes the parallelism trustworthy — every
+ * worker count must serialize the report byte-identically (compared
+ * here by hash; the full byte comparison lives in
+ * tests/integration/test_parallel_executor).
+ *
+ * Emits a JSON record per series so the bench trajectory can be
+ * tracked across revisions:
+ *
+ *   {"bench":"campaign_throughput","cells":8,"series":[...]}
+ *
+ * The >= 3x speedup assertion at 8 workers only fires when the host
+ * actually has >= 8 hardware threads: wall-clock speedup from
+ * CPU-bound simulation is physically impossible on fewer cores, and
+ * the determinism hash — checked unconditionally — is what the rest
+ * of the system relies on.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+#include "core/resultstore.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/threadpool.hh"
+
+using namespace vmargin;
+
+namespace
+{
+
+FrameworkConfig
+eightCellConfig()
+{
+    FrameworkConfig config;
+    config.workloads = {wl::findWorkload("bwaves/ref"),
+                        wl::findWorkload("mcf/ref")};
+    config.cores = {0, 2, 4, 6};
+    config.campaigns = 3;
+    config.maxEpochs = 10;
+    config.startVoltage = 930;
+    config.endVoltage = 845;
+    return config;
+}
+
+struct Series
+{
+    int workers = 0;
+    double seconds = 0.0;
+    double cellsPerSec = 0.0;
+    Seed reportHash = 0;
+};
+
+Series
+sweepWith(int workers)
+{
+    FrameworkConfig config = eightCellConfig();
+    config.workers = workers;
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           1);
+    CharacterizationFramework framework(&platform);
+
+    const auto begin = std::chrono::steady_clock::now();
+    const auto report = framework.characterize(config);
+    const auto end = std::chrono::steady_clock::now();
+
+    Series series;
+    series.workers = workers;
+    series.seconds =
+        std::chrono::duration<double>(end - begin).count();
+    const double cells = static_cast<double>(
+        config.workloads.size() * config.cores.size());
+    series.cellsPerSec = cells / series.seconds;
+    series.reportHash = util::hashSeed(serializeReport(report));
+    return series;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "parallel campaign executor throughput "
+                      "(8-cell sweep)");
+
+    const int hardware = util::ThreadPool::defaultWorkerCount();
+    std::vector<int> counts = {1, 2, 4, 8};
+    if (hardware > 8)
+        counts.push_back(hardware);
+
+    std::vector<Series> series;
+    for (const int workers : counts) {
+        std::cerr << "sweeping with " << workers << " worker"
+                  << (workers == 1 ? "" : "s") << "...\n";
+        series.push_back(sweepWith(workers));
+    }
+
+    bool ok = true;
+    for (const auto &s : series) {
+        std::cout << util::padLeft(std::to_string(s.workers), 3)
+                  << " workers: "
+                  << util::padLeft(util::formatDouble(s.cellsPerSec, 2),
+                                   8)
+                  << " cells/s  ("
+                  << util::formatDouble(s.seconds, 3) << " s, x"
+                  << util::formatDouble(
+                         s.seconds > 0.0
+                             ? series.front().seconds / s.seconds
+                             : 0.0,
+                         2)
+                  << " vs 1 worker)\n";
+        if (s.reportHash != series.front().reportHash) {
+            std::cerr << "FAIL: report at " << s.workers
+                      << " workers differs from the 1-worker "
+                         "report (hash mismatch) — the "
+                         "determinism contract is broken\n";
+            ok = false;
+        }
+    }
+
+    double speedup8 = 0.0;
+    for (const auto &s : series)
+        if (s.workers == 8 && s.seconds > 0.0)
+            speedup8 = series.front().seconds / s.seconds;
+    if (hardware >= 8 && speedup8 < 3.0) {
+        std::cerr << "FAIL: 8 workers on " << hardware
+                  << " hardware threads reached only x"
+                  << util::formatDouble(speedup8, 2)
+                  << " over 1 worker (>= 3x required)\n";
+        ok = false;
+    } else if (hardware < 8) {
+        std::cout << "note: host has " << hardware
+                  << " hardware thread(s); speedup gate needs >= 8 "
+                     "and is skipped (hashes still checked)\n";
+    }
+
+    // Machine-readable trajectory record.
+    std::cout << "{\"bench\":\"campaign_throughput\",\"cells\":8,"
+              << "\"hardware_threads\":" << hardware
+              << ",\"series\":[";
+    for (size_t i = 0; i < series.size(); ++i) {
+        const auto &s = series[i];
+        std::cout << (i ? "," : "") << "{\"workers\":" << s.workers
+                  << ",\"seconds\":"
+                  << util::formatDouble(s.seconds, 4)
+                  << ",\"cells_per_sec\":"
+                  << util::formatDouble(s.cellsPerSec, 2)
+                  << ",\"report_hash\":\"" << std::hex
+                  << s.reportHash << std::dec << "\"}";
+    }
+    std::cout << "],\"speedup_8v1\":"
+              << util::formatDouble(speedup8, 2)
+              << ",\"deterministic\":" << (ok ? "true" : "false")
+              << "}\n";
+
+    return ok ? 0 : 1;
+}

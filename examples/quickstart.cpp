@@ -32,6 +32,10 @@ main(int argc, char **argv)
     cli.addOption("core", "4", "core under characterization (0-7)");
     cli.addOption("chip", "TTT", "chip corner: TTT, TFF or TSS");
     cli.addOption("campaigns", "10", "campaign repetitions");
+    cli.addOption("workers", "0",
+                  "parallel measurement workers (0 = hardware)");
+    cli.addFlag("all-cores",
+                "characterize every core, not just --core");
     cli.addFlag("list", "list available workloads and exit");
     if (!cli.parse(argc, argv))
         return 1;
@@ -53,15 +57,42 @@ main(int argc, char **argv)
     FrameworkConfig config;
     config.workloads = {workload};
     config.cores = {core};
+    if (cli.flag("all-cores")) {
+        config.cores.clear();
+        for (CoreId c = 0; c < 8; ++c)
+            config.cores.push_back(c);
+    }
     config.campaigns = static_cast<int>(cli.intValue("campaigns"));
+    config.workers = static_cast<int>(cli.intValue("workers"));
     config.startVoltage = 930;
     config.endVoltage = 830;
 
-    std::cout << "characterizing " << workload.id() << " on core "
-              << core << " of chip " << platform.chip().name()
-              << " (" << config.campaigns << " campaigns, 5 mV "
+    std::cout << "characterizing " << workload.id() << " on "
+              << (cli.flag("all-cores")
+                      ? std::string("all cores")
+                      : "core " + std::to_string(core))
+              << " of chip " << platform.chip().name() << " ("
+              << config.campaigns << " campaigns, 5 mV "
               << "steps, watchdog armed)...\n";
     const auto report = framework.characterize(config);
+
+    if (cli.flag("all-cores")) {
+        util::TablePrinter vmins(
+            {"core", "safe Vmin (mV)", "severity @ Vmin-5"});
+        for (const CoreId c : config.cores) {
+            const auto &a = report.cell(workload.id(), c).analysis;
+            const MilliVolt below =
+                a.vmin - 5 >= config.endVoltage ? a.vmin - 5
+                                                : a.vmin;
+            vmins.addRow({std::to_string(c),
+                          std::to_string(a.vmin),
+                          util::formatDouble(
+                              a.severityByVoltage.at(below), 1)});
+        }
+        vmins.print(std::cout);
+        std::cout << "\nper-core detail below is for core " << core
+                  << ".\n\n";
+    }
     const auto &analysis = report.cell(workload.id(), core).analysis;
 
     util::TablePrinter table(

@@ -16,15 +16,21 @@ CampaignRunner::CampaignRunner(sim::Platform *platform)
 }
 
 Seed
-CampaignRunner::runSeed(const CampaignConfig &config,
-                        MilliVolt voltage, int run_index) const
+CampaignRunner::campaignSeedBase(const CampaignConfig &config) const
 {
     Seed seed = util::hashSeed(config.workload.id());
     seed = util::mixSeed(
         seed, static_cast<uint64_t>(platform_->chip().corner()) << 32 |
                   platform_->chip().serial());
     seed = util::mixSeed(seed, static_cast<uint64_t>(config.core));
-    seed = util::mixSeed(seed, static_cast<uint64_t>(voltage));
+    return seed;
+}
+
+Seed
+CampaignRunner::runSeed(Seed base, const CampaignConfig &config,
+                        MilliVolt voltage, int run_index) const
+{
+    Seed seed = util::mixSeed(base, static_cast<uint64_t>(voltage));
     seed = util::mixSeed(seed,
                          static_cast<uint64_t>(config.frequency));
     seed = util::mixSeed(seed, config.campaignIndex);
@@ -132,6 +138,18 @@ CampaignRunner::run(const CampaignConfig &config)
         config.startVoltage, config.endVoltage,
         params.voltageStepSize);
 
+    // The string-hashing part of the run seed covers coordinates
+    // that never change inside the sweep; hash it once here instead
+    // of once per run.
+    const Seed seed_base = campaignSeedBase(config);
+
+    // Pre-size the log vectors for the common case (formatRunLog
+    // emits 7 fixed lines plus a few EDAC_SITE lines per run) so the
+    // hot sweep loop appends without reallocating.
+    result.rawLog.reserve(sweep.size() *
+                          static_cast<size_t>(config.runsPerVoltage) *
+                          10);
+
     int consecutive_crash_levels = 0;
 
     // ---- execution phase ----------------------------------------
@@ -158,7 +176,7 @@ CampaignRunner::run(const CampaignConfig &config)
             exec.droopSensitivityMv = config.droopSensitivityMv;
             const sim::RunResult run = platform_->runWorkload(
                 config.core, config.workload,
-                runSeed(config, voltage, r), exec);
+                runSeed(seed_base, config, voltage, r), exec);
 
             // Safe data collection: restore nominal before storing
             // the log (possible only when the machine survived; a

@@ -102,9 +102,20 @@ class CampaignRunner
     }
 
   private:
-    /** Deterministic per-run seed from the experiment coordinates. */
-    Seed runSeed(const CampaignConfig &config, MilliVolt voltage,
-                 int run_index) const;
+    /**
+     * Seed material for the coordinates that are invariant across a
+     * campaign's sweep (workload, chip, core) — hashed once per
+     * campaign, outside the hot voltage/run loops.
+     */
+    Seed campaignSeedBase(const CampaignConfig &config) const;
+
+    /**
+     * Deterministic per-run seed: @p base (campaignSeedBase) mixed
+     * with the per-run coordinates. Produces exactly the same seeds
+     * as hashing the full tuple from scratch.
+     */
+    Seed runSeed(Seed base, const CampaignConfig &config,
+                 MilliVolt voltage, int run_index) const;
 
     /** Seed scoping the fault plan to this campaign's coordinates. */
     Seed faultScope(const CampaignConfig &config) const;

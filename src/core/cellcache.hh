@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Persistent cell-result cache.
+ *
+ * Full V/F characterization is a multi-day wall-clock problem (the
+ * follow-up framework paper, arXiv:2106.09975), and benches and
+ * repeated sweeps keep re-measuring cells whose outcome is already
+ * known: every (workload, core) cell is a pure function of its
+ * experiment coordinates and the measurement-shaping configuration.
+ * The cache persists finished cells — same raw-log representation as
+ * the write-ahead journal — keyed by (config hash, workload, core),
+ * where the config hash covers every knob that shapes a cell's
+ * measurement (cellConfigHash). Unlike the journal, which binds one
+ * file to one exact sweep, one cache file serves many sweeps: cells
+ * recorded under a *different* configuration hash are simply not
+ * found (mirroring the journal's config-mismatch refusal, but per
+ * entry instead of per file).
+ */
+
+#ifndef VMARGIN_CORE_CELLCACHE_HH
+#define VMARGIN_CORE_CELLCACHE_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "framework.hh"
+
+namespace vmargin
+{
+
+/** Append-only, mutex-guarded (config, workload, core) -> cell map
+ *  persisted next to the journal. */
+class CellResultCache
+{
+  public:
+    explicit CellResultCache(std::string path);
+
+    /**
+     * Load existing entries. A missing file is an empty cache; a
+     * file that does not start with the cache magic is refused
+     * (fatal — the path points at something else). A truncated
+     * trailing entry from a killed process is discarded. Not
+     * thread-safe; open before workers start.
+     */
+    void open();
+
+    /**
+     * Cached measurement for the cell under @p config_hash, or
+     * nullptr — entries recorded under any other configuration hash
+     * are rejected. The pointer is invalidated by the next put().
+     */
+    const CellMeasurement *find(Seed config_hash,
+                                const std::string &workload_id,
+                                CoreId core) const;
+
+    /**
+     * Append a finished cell under @p config_hash and flush. Safe to
+     * call concurrently from executor workers. A duplicate key
+     * (already cached) is ignored — first write wins, matching the
+     * journal's merge-on-resume rule.
+     */
+    void put(Seed config_hash, const CellMeasurement &cell);
+
+    /** Number of cached cells across all configuration hashes. */
+    size_t size() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Entry
+    {
+        Seed configHash = 0;
+        CellMeasurement cell;
+    };
+
+    const CellMeasurement *findLocked(Seed config_hash,
+                                      const std::string &workload_id,
+                                      CoreId core) const;
+
+    std::string path_;
+    mutable std::mutex mutex_; ///< guards entries_ and the file tail
+    std::vector<Entry> entries_;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_CELLCACHE_HH

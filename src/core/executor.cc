@@ -1,0 +1,215 @@
+#include "executor.hh"
+
+#include <memory>
+
+#include "cellcache.hh"
+#include "resultstore.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+namespace vmargin
+{
+
+namespace
+{
+
+/** One cell of the sweep, in canonical (workload-major) order. */
+struct PlanEntry
+{
+    const wl::WorkloadProfile *workload = nullptr;
+    CoreId core = 0;
+
+    /** Journal- or cache-served measurement; runs fresh when unset. */
+    CellMeasurement replayed;
+    bool fromJournal = false;
+    bool fromCache = false;
+
+    bool fresh() const { return !fromJournal && !fromCache; }
+};
+
+} // namespace
+
+CellMeasurement
+measureCellWith(CampaignRunner &runner,
+                const wl::WorkloadProfile &workload, CoreId core,
+                const FrameworkConfig &config)
+{
+    CellMeasurement cell;
+    cell.workloadId = workload.id();
+    cell.core = core;
+    for (int rep = 0; rep < config.campaigns; ++rep) {
+        CampaignConfig campaign;
+        campaign.workload = workload;
+        campaign.core = core;
+        campaign.frequency = config.frequency;
+        campaign.startVoltage = config.startVoltage;
+        campaign.endVoltage = config.endVoltage;
+        campaign.runsPerVoltage = config.runsPerVoltage;
+        campaign.campaignIndex = static_cast<uint32_t>(rep);
+        campaign.maxEpochs = config.maxEpochs;
+        campaign.fanTarget = config.fanTarget;
+        campaign.retry = config.retryPolicy;
+        const CampaignResult result = runner.run(campaign);
+        if (cell.runs.empty()) {
+            // First campaign sizes the aggregate vectors: later
+            // campaigns of the same cell produce similar volumes,
+            // so one reservation covers the whole loop.
+            cell.runs.reserve(result.runs.size() *
+                              static_cast<size_t>(config.campaigns));
+            cell.rawLog.reserve(
+                result.rawLog.size() *
+                static_cast<size_t>(config.campaigns));
+        }
+        cell.runs.insert(cell.runs.end(), result.runs.begin(),
+                         result.runs.end());
+        cell.rawLog.insert(cell.rawLog.end(), result.rawLog.begin(),
+                           result.rawLog.end());
+        cell.watchdogInterventions += result.watchdogInterventions;
+        cell.telemetry.merge(result.telemetry);
+    }
+    return cell;
+}
+
+CampaignExecutor::CampaignExecutor(sim::Platform *prototype)
+    : prototype_(prototype)
+{
+    if (!prototype_)
+        util::panicf("CampaignExecutor: null platform");
+}
+
+CharacterizationReport
+CampaignExecutor::run(const FrameworkConfig &config)
+{
+    CharacterizationReport report;
+    report.chipName = prototype_->chip().name();
+    report.corner = prototype_->chip().corner();
+    report.frequency = config.frequency;
+
+    std::unique_ptr<CampaignJournal> journal;
+    if (!config.journalPath.empty()) {
+        journal =
+            std::make_unique<CampaignJournal>(config.journalPath);
+        journal->open(journalHeaderFor(config, *prototype_));
+    }
+
+    std::unique_ptr<CellResultCache> cache;
+    Seed config_hash = 0;
+    if (!config.cachePath.empty()) {
+        cache = std::make_unique<CellResultCache>(config.cachePath);
+        cache->open();
+        config_hash = cellConfigHash(config, *prototype_);
+    }
+
+    // ---- plan: walk the sweep in canonical order ----------------
+    // Replays are resolved (and copied — later appends invalidate
+    // the journal/cache pointers) up front; the cell budget counts
+    // only fresh cells and truncates the plan exactly where the
+    // sequential walk would have stopped.
+    std::vector<PlanEntry> plan;
+    plan.reserve(config.workloads.size() * config.cores.size());
+    int fresh_cells = 0;
+    for (const auto &workload : config.workloads) {
+        for (const CoreId core : config.cores) {
+            PlanEntry entry;
+            entry.workload = &workload;
+            entry.core = core;
+            const CellMeasurement *served =
+                journal ? journal->find(workload.id(), core)
+                        : nullptr;
+            if (served) {
+                entry.fromJournal = true;
+            } else if (cache &&
+                       (served = cache->find(config_hash,
+                                             workload.id(), core))) {
+                entry.fromCache = true;
+            } else if (config.cellBudget > 0 &&
+                       fresh_cells >= config.cellBudget) {
+                // Session budget spent; the journal holds what
+                // finished, a later call picks up from here.
+                report.complete = false;
+                break;
+            } else {
+                ++fresh_cells;
+            }
+            if (served)
+                entry.replayed = *served;
+            plan.push_back(std::move(entry));
+        }
+        if (!report.complete)
+            break;
+    }
+
+    // ---- execute: fresh cells fan out across the pool -----------
+    // Each task measures on a brand-new platform replica, so no
+    // cross-cell state (RNG, thermal, SLIMpro, fault streams) is
+    // shared between workers — the determinism contract. Journal
+    // and cache appends happen per completed cell (write-ahead: a
+    // killed process keeps every finished cell), in completion
+    // order, under their own locks.
+    std::vector<CellMeasurement> measured(plan.size());
+    {
+        util::ThreadPool pool(config.workers);
+        for (size_t i = 0; i < plan.size(); ++i) {
+            if (!plan[i].fresh())
+                continue;
+            pool.submit([&, i] {
+                auto replica = prototype_->freshReplica();
+                CampaignRunner runner(replica.get());
+                CellMeasurement cell = measureCellWith(
+                    runner, *plan[i].workload, plan[i].core, config);
+                if (journal)
+                    journal->append(cell);
+                if (cache)
+                    cache->put(config_hash, cell);
+                measured[i] = std::move(cell);
+            });
+        }
+        pool.wait();
+    }
+
+    // ---- merge: canonical order, independent of completion ------
+    for (size_t i = 0; i < plan.size(); ++i) {
+        CellMeasurement &cell_measured =
+            plan[i].fresh() ? measured[i] : plan[i].replayed;
+        if (plan[i].fromJournal)
+            ++report.telemetry.journalReplays;
+        if (plan[i].fromCache)
+            ++report.telemetry.cacheHits;
+
+        if (cell_measured.runs.empty()) {
+            // Extreme hostility can lose a whole cell to the
+            // management plane. Degrade: account the loss, omit
+            // the cell, keep sweeping. (The empty cell was
+            // journaled above, so a resume will not redo it.)
+            util::warnf("characterize: every run of ",
+                        cell_measured.workloadId, " on core ",
+                        cell_measured.core,
+                        " was lost to management faults; "
+                        "cell omitted from the report");
+            report.watchdogInterventions +=
+                cell_measured.watchdogInterventions;
+            report.telemetry.merge(cell_measured.telemetry);
+            continue;
+        }
+
+        CellResult cell;
+        cell.workloadId = cell_measured.workloadId;
+        cell.core = cell_measured.core;
+        cell.analysis = analyzeRegions(cell_measured.runs,
+                                       cell_measured.workloadId,
+                                       cell_measured.core,
+                                       config.weights);
+        report.cells.push_back(std::move(cell));
+        report.totalRuns += cell_measured.runs.size();
+        report.allRuns.insert(report.allRuns.end(),
+                              cell_measured.runs.begin(),
+                              cell_measured.runs.end());
+        report.watchdogInterventions +=
+            cell_measured.watchdogInterventions;
+        report.telemetry.merge(cell_measured.telemetry);
+    }
+
+    return report;
+}
+
+} // namespace vmargin

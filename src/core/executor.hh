@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parallel campaign executor.
+ *
+ * The paper ran its characterization on three X-Gene 2 machines
+ * concurrently because full V/F characterization is a multi-day
+ * wall-clock problem. Our simulated sweep has the same shape and a
+ * stronger property: every (workload, core) cell's measurement is a
+ * pure function of its experiment coordinates — run seeds and fault
+ * streams are rebased per campaign (scopeTo), never shared across
+ * cells. The executor exploits that by running each in-flight cell
+ * on its own fresh sim::Platform replica (same corner, serial,
+ * enhancements and fault plan configuration) across a work-stealing
+ * thread pool, then merging results in canonical cell order
+ * (workload-major, core-minor, the FrameworkConfig list order).
+ *
+ * Determinism contract: the emitted report — CSV, summary and
+ * serialized form — is byte-identical for any worker count,
+ * including 1, and identical to a journal-resumed or cache-served
+ * sweep of the same configuration. The write-ahead journal and the
+ * cell-result cache are appended from worker threads in completion
+ * order (their append paths are mutex-guarded), so their on-disk
+ * cell order is the one artifact that may differ between worker
+ * counts; both tolerate arbitrary order on load.
+ */
+
+#ifndef VMARGIN_CORE_EXECUTOR_HH
+#define VMARGIN_CORE_EXECUTOR_HH
+
+#include "campaign.hh"
+#include "framework.hh"
+
+namespace vmargin
+{
+
+/**
+ * Run all campaign repetitions of one (workload, core) cell through
+ * @p runner and collect runs, raw logs and recovery telemetry.
+ * Shared by the sequential measureCell() entry point and the
+ * executor's workers (each worker passes a runner bound to its own
+ * platform replica).
+ */
+CellMeasurement measureCellWith(CampaignRunner &runner,
+                                const wl::WorkloadProfile &workload,
+                                CoreId core,
+                                const FrameworkConfig &config);
+
+/**
+ * Schedules one characterization sweep across a thread pool. One
+ * instance per characterize() call; the prototype platform is only
+ * read (chip identity, fault plan configuration) and replicated —
+ * never executed on — so the caller's machine state is untouched.
+ */
+class CampaignExecutor
+{
+  public:
+    /** @param prototype machine under test (not owned) */
+    explicit CampaignExecutor(sim::Platform *prototype);
+
+    /** Run the sweep described by @p config (already validated). */
+    CharacterizationReport run(const FrameworkConfig &config);
+
+  private:
+    sim::Platform *prototype_;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_EXECUTOR_HH

@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "executor.hh"
 #include "resultstore.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -54,6 +55,9 @@ FrameworkConfig::fromConfig(const util::ConfigFile &file)
     config.journalPath = file.get("journal", config.journalPath);
     config.cellBudget = static_cast<int>(
         file.getInt("cell_budget", config.cellBudget));
+    config.workers =
+        static_cast<int>(file.getInt("workers", config.workers));
+    config.cachePath = file.get("cache", config.cachePath);
     config.validate();
     return config;
 }
@@ -73,6 +77,8 @@ FrameworkConfig::validate() const
         util::fatalError("framework: inverted voltage range");
     if (cellBudget < 0)
         util::fatalError("framework: cellBudget must be >= 0");
+    if (workers < 0)
+        util::fatalError("framework: workers must be >= 0");
     retryPolicy.validate();
     weights.validate();
     for (const auto &workload : workloads)
@@ -170,30 +176,7 @@ CharacterizationFramework::measureCell(
     const wl::WorkloadProfile &workload, CoreId core,
     const FrameworkConfig &config)
 {
-    CellMeasurement cell;
-    cell.workloadId = workload.id();
-    cell.core = core;
-    for (int rep = 0; rep < config.campaigns; ++rep) {
-        CampaignConfig campaign;
-        campaign.workload = workload;
-        campaign.core = core;
-        campaign.frequency = config.frequency;
-        campaign.startVoltage = config.startVoltage;
-        campaign.endVoltage = config.endVoltage;
-        campaign.runsPerVoltage = config.runsPerVoltage;
-        campaign.campaignIndex = static_cast<uint32_t>(rep);
-        campaign.maxEpochs = config.maxEpochs;
-        campaign.fanTarget = config.fanTarget;
-        campaign.retry = config.retryPolicy;
-        const CampaignResult result = runner_.run(campaign);
-        cell.runs.insert(cell.runs.end(), result.runs.begin(),
-                         result.runs.end());
-        cell.rawLog.insert(cell.rawLog.end(), result.rawLog.begin(),
-                           result.rawLog.end());
-        cell.watchdogInterventions += result.watchdogInterventions;
-        cell.telemetry.merge(result.telemetry);
-    }
-    return cell;
+    return measureCellWith(runner_, workload, core, config);
 }
 
 CellResult
@@ -223,79 +206,11 @@ CharacterizationReport
 CharacterizationFramework::characterize(const FrameworkConfig &config)
 {
     config.validate();
-
-    CharacterizationReport report;
-    report.chipName = platform_->chip().name();
-    report.corner = platform_->chip().corner();
-    report.frequency = config.frequency;
-
-    std::unique_ptr<CampaignJournal> journal;
-    if (!config.journalPath.empty()) {
-        journal = std::make_unique<CampaignJournal>(
-            config.journalPath);
-        journal->open(journalHeaderFor(config, *platform_));
-    }
-
-    int fresh_cells = 0;
-    for (const auto &workload : config.workloads) {
-        for (const CoreId core : config.cores) {
-            const CellMeasurement *replayed =
-                journal ? journal->find(workload.id(), core)
-                        : nullptr;
-            CellMeasurement measured;
-            if (replayed) {
-                measured = *replayed;
-                ++report.telemetry.journalReplays;
-            } else {
-                if (config.cellBudget > 0 &&
-                    fresh_cells >= config.cellBudget) {
-                    // Session budget spent; the journal holds what
-                    // finished, a later call picks up from here.
-                    report.complete = false;
-                    break;
-                }
-                measured = measureCell(workload, core, config);
-                ++fresh_cells;
-                if (journal)
-                    journal->append(measured);
-            }
-
-            if (measured.runs.empty()) {
-                // Extreme hostility can lose a whole cell to the
-                // management plane. Degrade: account the loss,
-                // omit the cell, keep sweeping. (The empty cell is
-                // journaled above, so a resume will not redo it.)
-                util::warnf("characterize: every run of ",
-                            measured.workloadId, " on core ",
-                            measured.core,
-                            " was lost to management faults; "
-                            "cell omitted from the report");
-                report.watchdogInterventions +=
-                    measured.watchdogInterventions;
-                report.telemetry.merge(measured.telemetry);
-                continue;
-            }
-
-            CellResult cell;
-            cell.workloadId = measured.workloadId;
-            cell.core = measured.core;
-            cell.analysis =
-                analyzeRegions(measured.runs, measured.workloadId,
-                               measured.core, config.weights);
-            report.cells.push_back(std::move(cell));
-            report.totalRuns += measured.runs.size();
-            report.allRuns.insert(report.allRuns.end(),
-                                  measured.runs.begin(),
-                                  measured.runs.end());
-            report.watchdogInterventions +=
-                measured.watchdogInterventions;
-            report.telemetry.merge(measured.telemetry);
-        }
-        if (!report.complete)
-            break;
-    }
-
-    return report;
+    // The executor fans the (workload, core) cells out across a
+    // work-stealing pool, one fresh platform replica per in-flight
+    // cell, and merges in canonical order — see core/executor.
+    CampaignExecutor executor(platform_);
+    return executor.run(config);
 }
 
 } // namespace vmargin

@@ -53,6 +53,24 @@ struct FrameworkConfig
      */
     int cellBudget = 0;
 
+    /**
+     * Worker threads for the parallel campaign executor; 0 selects
+     * hardware_concurrency. Every (workload, core) cell runs on its
+     * own fresh platform replica, so the report is byte-identical
+     * for any worker count, including 1.
+     */
+    int workers = 0;
+
+    /**
+     * Cell-result cache path (empty = no cache), persisted next to
+     * the journal. Cells already measured under the same
+     * measurement-shaping configuration (cellConfigHash) are served
+     * from the cache instead of re-run; entries recorded under a
+     * different configuration hash are rejected per entry. Benches
+     * and repeated sweeps use this to skip known cells entirely.
+     */
+    std::string cachePath;
+
     /** Basic validation; fatal on an unusable configuration. */
     void validate() const;
 
@@ -61,8 +79,8 @@ struct FrameworkConfig
      * phase's user-editable setup, Figure 2). Recognized keys:
      * workloads (list of benchmark ids, default: headline suite),
      * cores (list, default 0-7), frequency_mhz, start_mv, end_mv,
-     * campaigns, runs_per_voltage, max_epochs. Fatal on unusable
-     * values.
+     * campaigns, runs_per_voltage, max_epochs, journal, cell_budget,
+     * workers, cache. Fatal on unusable values.
      */
     static FrameworkConfig fromConfig(const util::ConfigFile &file);
 };
@@ -134,7 +152,13 @@ class CharacterizationFramework
     /** @param platform machine under test (not owned) */
     explicit CharacterizationFramework(sim::Platform *platform);
 
-    /** Run the full characterization (all three phases). */
+    /**
+     * Run the full characterization (all three phases). Cells are
+     * fanned out across FrameworkConfig::workers threads by the
+     * parallel campaign executor (core/executor); results merge in
+     * canonical cell order, so the report is byte-identical for any
+     * worker count.
+     */
     CharacterizationReport characterize(const FrameworkConfig &config);
 
     /** Characterize a single (workload, core) cell. */

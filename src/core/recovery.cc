@@ -29,6 +29,7 @@ RecoveryTelemetry::merge(const RecoveryTelemetry &other)
     lostMeasurements += other.lostMeasurements;
     fallbackRounds += other.fallbackRounds;
     journalReplays += other.journalReplays;
+    cacheHits += other.cacheHits;
 }
 
 RecoveryTelemetry
@@ -44,6 +45,7 @@ RecoveryTelemetry::since(const RecoveryTelemetry &baseline) const
         lostMeasurements - baseline.lostMeasurements;
     delta.fallbackRounds = fallbackRounds - baseline.fallbackRounds;
     delta.journalReplays = journalReplays - baseline.journalReplays;
+    delta.cacheHits = cacheHits - baseline.cacheHits;
     return delta;
 }
 

@@ -56,8 +56,15 @@ struct RecoveryTelemetry
     uint64_t lostMeasurements = 0; ///< runs abandoned after exhaustion
     uint64_t fallbackRounds = 0;   ///< daemon rounds served at fallback
     uint64_t journalReplays = 0;   ///< cells skipped via journal resume
+    uint64_t cacheHits = 0;        ///< cells served from the result cache
 
-    /** Accumulate @p other into this. */
+    /**
+     * Accumulate @p other into this. Every field is an additive
+     * uint64 counter, so merging per-cell telemetry is commutative:
+     * the parallel executor can aggregate worker results in any
+     * completion order and still reproduce the sequential totals
+     * (it merges in canonical cell order anyway).
+     */
     void merge(const RecoveryTelemetry &other);
 
     /** Per-field difference against an earlier snapshot. */

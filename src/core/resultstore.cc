@@ -224,18 +224,16 @@ loadReport(const std::string &path, const SeverityWeights &weights)
     return deserializeReport(text.str(), weights);
 }
 
-std::string
-journalHeaderFor(const FrameworkConfig &config,
-                 const sim::Platform &platform)
+namespace
 {
-    // Hash every knob that shapes the measurements; a journal
-    // recorded under any other configuration must be refused, or a
-    // resumed sweep would silently mix incompatible cells.
-    Seed hash = util::hashSeed("vmargin-journal-config");
-    for (const auto &workload : config.workloads)
-        hash = util::mixSeed(hash, util::hashSeed(workload.id()));
-    for (const CoreId core : config.cores)
-        hash = util::mixSeed(hash, static_cast<uint64_t>(core));
+
+/** Mix the measurement-shaping knobs shared by the journal header
+ *  and the per-cell cache key: everything except the workload/core
+ *  lists. */
+Seed
+mixMeasurementKnobs(Seed hash, const FrameworkConfig &config,
+                    const sim::Platform &platform)
+{
     hash = util::mixSeed(hash,
                          static_cast<uint64_t>(config.frequency));
     hash = util::mixSeed(hash,
@@ -247,6 +245,14 @@ journalHeaderFor(const FrameworkConfig &config,
     hash = util::mixSeed(hash,
                          static_cast<uint64_t>(config.campaigns));
     hash = util::mixSeed(hash, config.maxEpochs);
+    hash = util::mixSeed(
+        hash, static_cast<uint64_t>(config.fanTarget * 1e3));
+    hash = util::mixSeed(
+        hash, static_cast<uint64_t>(config.retryPolicy.attemptsPerOp));
+    hash = util::mixSeed(
+        hash, static_cast<uint64_t>(config.retryPolicy.watchdogPolls));
+    hash = util::mixSeed(hash, config.retryPolicy.backoffBaseUs);
+    hash = util::mixSeed(hash, config.retryPolicy.backoffCapUs);
     hash = util::mixSeed(
         hash,
         static_cast<uint64_t>(platform.chip().corner()) << 32 |
@@ -261,6 +267,34 @@ journalHeaderFor(const FrameworkConfig &config,
                         static_cast<sim::FaultOp>(op)) *
                     1e9));
     }
+    return hash;
+}
+
+} // namespace
+
+Seed
+cellConfigHash(const FrameworkConfig &config,
+               const sim::Platform &platform)
+{
+    return mixMeasurementKnobs(
+        util::hashSeed("vmargin-cell-config"), config, platform);
+}
+
+std::string
+journalHeaderFor(const FrameworkConfig &config,
+                 const sim::Platform &platform)
+{
+    // Hash every knob that shapes the measurements; a journal
+    // recorded under any other configuration must be refused, or a
+    // resumed sweep would silently mix incompatible cells. Unlike
+    // the cell cache key, the workload and core lists are included:
+    // one journal binds to one exact sweep.
+    Seed hash = util::hashSeed("vmargin-journal-config");
+    for (const auto &workload : config.workloads)
+        hash = util::mixSeed(hash, util::hashSeed(workload.id()));
+    for (const CoreId core : config.cores)
+        hash = util::mixSeed(hash, static_cast<uint64_t>(core));
+    hash = mixMeasurementKnobs(hash, config, platform);
 
     std::ostringstream os;
     os << kJournalMagic << " chip=" << platform.chip().name()
@@ -336,7 +370,12 @@ CampaignJournal::open(const std::string &header)
             pending.telemetry.lostMeasurements =
                 fieldUint(fields, "lost");
             pending.runs = parseCampaignLog(pending.rawLog);
-            if (pending.runs.size() == fieldUint(fields, "runs"))
+            // Merge-on-resume: parallel sessions append in
+            // completion order and racing sessions can journal the
+            // same cell twice — keep the first intact occurrence,
+            // whatever position it landed at.
+            if (pending.runs.size() == fieldUint(fields, "runs") &&
+                !has(pending.workloadId, pending.core))
                 cells_.push_back(std::move(pending));
             in_cell = false;
         } else if (in_cell) {
@@ -356,15 +395,24 @@ const CellMeasurement *
 CampaignJournal::find(const std::string &workload_id,
                       CoreId core) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &cell : cells_)
         if (cell.workloadId == workload_id && cell.core == core)
             return &cell;
     return nullptr;
 }
 
+size_t
+CampaignJournal::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
 void
 CampaignJournal::append(const CellMeasurement &cell)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ofstream out(path_, std::ios::app);
     if (!out)
         util::fatalError("journal: cannot append to '" + path_ +

@@ -15,6 +15,7 @@
 #ifndef VMARGIN_CORE_RESULTSTORE_HH
 #define VMARGIN_CORE_RESULTSTORE_HH
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,19 @@ std::string journalHeaderFor(const FrameworkConfig &config,
                              const sim::Platform &platform);
 
 /**
+ * Hash of every configuration knob that shapes a *single cell's*
+ * measurement (voltage range, runs, campaigns, epochs, fan target,
+ * retry policy, chip identity, fault plan) — deliberately excluding
+ * the workload and core lists, which are per-cell coordinates. The
+ * cell-result cache keys entries on this hash plus the (workload,
+ * core) coordinates, so sweeps over different workload/core subsets
+ * share cached cells while any knob that would change the measured
+ * bytes invalidates them.
+ */
+Seed cellConfigHash(const FrameworkConfig &config,
+                    const sim::Platform &platform);
+
+/**
  * Write-ahead journal of completed (workload, core) cells.
  *
  * The paper's campaigns ran for six months; ours must likewise
@@ -67,6 +81,13 @@ std::string journalHeaderFor(const FrameworkConfig &config,
  * (reparsing the raw logs through the normal parsing phase) and a
  * truncated tail — the cell a killed process was writing — is
  * discarded, so the framework re-runs exactly the unfinished cells.
+ *
+ * The parallel campaign executor appends from its worker threads in
+ * completion order, so append() is mutex-guarded and the on-disk
+ * cell order is *not* canonical: resume merges entries regardless of
+ * order (first occurrence of a cell wins, duplicates from racing
+ * sessions are dropped) and the framework re-establishes canonical
+ * order when it assembles the report.
  */
 class CampaignJournal
 {
@@ -77,28 +98,34 @@ class CampaignJournal
      * Bind to @p header: a fresh file gets it written, an existing
      * file must start with it (fatal otherwise — the journal
      * belongs to a different experiment), and its completed entries
-     * are loaded.
+     * are loaded. Not thread-safe; open before workers start.
      */
     void open(const std::string &header);
 
     /** True when the cell is already journaled. */
     bool has(const std::string &workload_id, CoreId core) const;
 
-    /** Journaled measurement for the cell, or nullptr. */
+    /** Journaled measurement for the cell, or nullptr. The pointer
+     *  is invalidated by the next append(). */
     const CellMeasurement *find(const std::string &workload_id,
                                 CoreId core) const;
 
-    /** Append a finished cell and flush (write-ahead semantics). */
+    /**
+     * Append a finished cell and flush (write-ahead semantics).
+     * Safe to call concurrently from executor workers; entries land
+     * in completion order.
+     */
     void append(const CellMeasurement &cell);
 
     /** Number of completed cells on record. */
-    size_t size() const { return cells_.size(); }
+    size_t size() const;
 
     const std::string &path() const { return path_; }
 
   private:
     std::string path_;
     std::string header_;
+    mutable std::mutex mutex_; ///< guards cells_ and the file tail
     std::vector<CellMeasurement> cells_;
 };
 

@@ -6,9 +6,21 @@ namespace vmargin::sim
 Platform::Platform(const XGene2Params &params, ChipCorner corner,
                    uint32_t serial, DesignEnhancements enhancements)
     : chip_(std::make_unique<Chip>(params, corner, serial,
-                                   enhancements))
+                                   enhancements)),
+      enhancements_(enhancements)
 {
     powerCycle();
+}
+
+std::unique_ptr<Platform>
+Platform::freshReplica() const
+{
+    auto replica = std::make_unique<Platform>(
+        chip_->params(), chip_->corner(), chip_->serial(),
+        enhancements_);
+    if (faultPlan_)
+        replica->installFaultPlan(faultPlan_->config());
+    return replica;
 }
 
 RunResult

@@ -95,8 +95,22 @@ class Platform
     FaultPlan *faultPlan() { return faultPlan_.get(); }
     const FaultPlan *faultPlan() const { return faultPlan_.get(); }
 
+    /**
+     * Build a brand-new machine with this one's fabrication inputs:
+     * same parameters, corner, serial and design enhancements, plus
+     * a copy of the installed fault plan configuration (streams are
+     * rebased by the campaign layer's scopeTo, so a replica injects
+     * the same faults for the same experiment coordinates). Because
+     * every measurement is seeded purely by its experiment
+     * coordinates, a replica measures exactly what this machine
+     * would — the parallel campaign executor runs one replica per
+     * in-flight cell.
+     */
+    std::unique_ptr<Platform> freshReplica() const;
+
   private:
     std::unique_ptr<Chip> chip_;
+    DesignEnhancements enhancements_;
     ThermalModel thermal_;
     MachineState state_ = MachineState::Off;
     uint64_t bootCount_ = 0;

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cell-result cache: persistence round-trips, config-hash keying
+ * (an entry recorded under a different FrameworkConfig hash must be
+ * rejected, mirroring the journal's config-mismatch refusal), and
+ * framework-level cache-served sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/cellcache.hh"
+#include "core/resultstore.hh"
+#include "sim/platform.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+FrameworkConfig
+smallConfig()
+{
+    FrameworkConfig config;
+    config.workloads = {wl::findWorkload("leslie3d/ref")};
+    config.cores = {0, 4};
+    config.campaigns = 2;
+    config.maxEpochs = 8;
+    config.startVoltage = 930;
+    config.endVoltage = 870;
+    return config;
+}
+
+CellMeasurement
+measuredCell(const std::string &path)
+{
+    // Produce one genuine measurement by characterizing with a
+    // cache attached; return the journal-shaped cell by reloading.
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           3);
+    CharacterizationFramework framework(&platform);
+    FrameworkConfig config = smallConfig();
+    config.cachePath = path;
+    (void)framework.characterize(config);
+    CellResultCache cache(path);
+    cache.open();
+    const auto *cell = cache.find(
+        cellConfigHash(config, platform), "leslie3d/ref", 0);
+    EXPECT_NE(cell, nullptr);
+    return *cell;
+}
+
+TEST(CellCache, PutFindRoundTripsAcrossReopen)
+{
+    const std::string path = "/tmp/vmargin_test_cellcache_rt";
+    std::remove(path.c_str());
+
+    const CellMeasurement cell = measuredCell(path);
+    EXPECT_FALSE(cell.runs.empty());
+
+    CellResultCache reopened(path);
+    reopened.open();
+    ASSERT_EQ(reopened.size(), 2u) << "both cells cached";
+
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           3);
+    const Seed hash = cellConfigHash(smallConfig(), platform);
+    const auto *found = reopened.find(hash, "leslie3d/ref", 0);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->runs.size(), cell.runs.size());
+    EXPECT_EQ(found->rawLog, cell.rawLog);
+    EXPECT_EQ(found->telemetry.retries, cell.telemetry.retries);
+    std::remove(path.c_str());
+}
+
+TEST(CellCache, RejectsEntryFromDifferentConfigHash)
+{
+    const std::string path = "/tmp/vmargin_test_cellcache_hash";
+    std::remove(path.c_str());
+    (void)measuredCell(path);
+
+    CellResultCache cache(path);
+    cache.open();
+    ASSERT_GT(cache.size(), 0u);
+
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           3);
+    FrameworkConfig other = smallConfig();
+    other.endVoltage = 900; // different measurement shape
+    const Seed other_hash = cellConfigHash(other, platform);
+    EXPECT_NE(other_hash, cellConfigHash(smallConfig(), platform));
+    EXPECT_EQ(cache.find(other_hash, "leslie3d/ref", 0), nullptr)
+        << "an entry recorded under a different config hash must "
+           "be rejected";
+
+    // A different chip (serial) must likewise miss.
+    sim::Platform other_chip(sim::XGene2Params{},
+                             sim::ChipCorner::TTT, 4);
+    EXPECT_EQ(cache.find(cellConfigHash(smallConfig(), other_chip),
+                         "leslie3d/ref", 0),
+              nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(CellCache, ServesRepeatedSweepWithoutRemeasuring)
+{
+    const std::string path = "/tmp/vmargin_test_cellcache_serve";
+    std::remove(path.c_str());
+
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           3);
+    CharacterizationFramework framework(&platform);
+    FrameworkConfig config = smallConfig();
+    config.cachePath = path;
+    const auto first = framework.characterize(config);
+    EXPECT_EQ(first.telemetry.cacheHits, 0u);
+
+    const auto second = framework.characterize(config);
+    EXPECT_EQ(second.telemetry.cacheHits, 2u)
+        << "every cell must be served from the cache";
+    EXPECT_EQ(serializeReport(second), serializeReport(first))
+        << "a cache-served sweep must reproduce the measured "
+           "report byte for byte";
+
+    // A changed measurement knob must miss and re-measure.
+    FrameworkConfig changed = config;
+    changed.endVoltage = 900;
+    const auto remeasured = framework.characterize(changed);
+    EXPECT_EQ(remeasured.telemetry.cacheHits, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CellCache, TruncatedTailIsDiscarded)
+{
+    const std::string path = "/tmp/vmargin_test_cellcache_trunc";
+    std::remove(path.c_str());
+    (void)measuredCell(path);
+
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "CELL config=abcd core=7 workload=leslie3d/ref\n";
+        out << "RUN workload=leslie3d/ref core=7 voltage=930 "
+               "frequency=2400 campaign=0 run=0\n";
+    }
+
+    CellResultCache cache(path);
+    cache.open();
+    EXPECT_EQ(cache.size(), 2u)
+        << "the killed-process tail must not be trusted";
+    std::remove(path.c_str());
+}
+
+TEST(CellCacheDeath, RefusesForeignFile)
+{
+    const std::string path = "/tmp/vmargin_test_cellcache_foreign";
+    {
+        std::ofstream out(path);
+        out << "not a cache\n";
+    }
+    CellResultCache cache(path);
+    EXPECT_EXIT(cache.open(), ::testing::ExitedWithCode(1),
+                "cellcache");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vmargin

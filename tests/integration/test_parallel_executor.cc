@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Determinism contract of the parallel campaign executor: the same
+ * configuration must produce byte-identical serialized reports at
+ * any worker count — with fault injection enabled — and journals
+ * that are identical after canonical sort (on-disk journal order is
+ * completion order, the one artifact allowed to vary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "core/framework.hh"
+#include "core/resultstore.hh"
+#include "util/config.hh"
+#include "util/strings.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+sim::FaultPlanConfig
+hostilePlan()
+{
+    sim::FaultPlanConfig plan;
+    plan.i2cWriteFailure = 0.10;
+    plan.watchdogMiss = 0.05;
+    plan.managementHang = 0.002;
+    plan.staleRead = 0.05;
+    plan.seed = 99;
+    return plan;
+}
+
+FrameworkConfig
+sweepConfig()
+{
+    FrameworkConfig config;
+    config.workloads = {wl::findWorkload("bwaves/ref"),
+                        wl::findWorkload("leslie3d/ref")};
+    config.cores = {0, 2, 4, 6};
+    config.campaigns = 2;
+    config.maxEpochs = 8;
+    config.startVoltage = 930;
+    config.endVoltage = 870;
+    return config;
+}
+
+CharacterizationReport
+sweep(int workers, const std::string &journal_path = "")
+{
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           7);
+    platform.installFaultPlan(hostilePlan());
+    CharacterizationFramework framework(&platform);
+    FrameworkConfig config = sweepConfig();
+    config.workers = workers;
+    config.journalPath = journal_path;
+    return framework.characterize(config);
+}
+
+/** Journal text with its CELL..ENDCELL blocks in canonical
+ *  (workload, core) order; the header line stays first. */
+std::string
+canonicalizeJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string line;
+    EXPECT_TRUE(std::getline(in, line));
+    const std::string header = line;
+
+    std::vector<std::string> blocks;
+    std::string block;
+    while (std::getline(in, line)) {
+        block += line;
+        block += '\n';
+        if (util::startsWith(line, "ENDCELL ")) {
+            blocks.push_back(block);
+            block.clear();
+        }
+    }
+    EXPECT_TRUE(block.empty()) << "truncated trailing cell";
+    std::sort(blocks.begin(), blocks.end());
+
+    std::string out = header + '\n';
+    for (const auto &b : blocks)
+        out += b;
+    return out;
+}
+
+TEST(ParallelExecutor, WorkerCountsProduceIdenticalReports)
+{
+    const auto one = sweep(1);
+    const auto two = sweep(2);
+    const auto eight = sweep(8);
+
+    EXPECT_GT(one.telemetry.retries, 0u)
+        << "the hostile plan must exercise the retry layer";
+    ASSERT_EQ(one.cells.size(), 8u);
+
+    const std::string bytes = serializeReport(one);
+    EXPECT_EQ(serializeReport(two), bytes)
+        << "2 workers must serialize byte-identically to 1";
+    EXPECT_EQ(serializeReport(eight), bytes)
+        << "8 workers must serialize byte-identically to 1";
+    EXPECT_EQ(one.toCsv(), two.toCsv());
+    EXPECT_EQ(one.summaryCsv(), eight.summaryCsv());
+}
+
+TEST(ParallelExecutor, JournalsIdenticalAfterCanonicalSort)
+{
+    const std::string path1 = "/tmp/vmargin_par_journal_w1";
+    const std::string path8 = "/tmp/vmargin_par_journal_w8";
+    std::remove(path1.c_str());
+    std::remove(path8.c_str());
+
+    const auto one = sweep(1, path1);
+    const auto eight = sweep(8, path8);
+    EXPECT_EQ(serializeReport(one), serializeReport(eight));
+
+    EXPECT_EQ(canonicalizeJournal(path1),
+              canonicalizeJournal(path8))
+        << "journals may differ in completion order only";
+    std::remove(path1.c_str());
+    std::remove(path8.c_str());
+}
+
+TEST(ParallelExecutor, ParallelJournalResumesSequentially)
+{
+    // A sweep journaled by 8 workers (out-of-order appends) must be
+    // replayable by a later single-worker session, and vice versa.
+    const std::string path = "/tmp/vmargin_par_journal_resume";
+    std::remove(path.c_str());
+
+    const auto fresh = sweep(8, path);
+    const auto resumed = sweep(1, path);
+    EXPECT_EQ(resumed.telemetry.journalReplays, 8u)
+        << "every cell must come from the journal";
+    EXPECT_EQ(serializeReport(resumed), serializeReport(fresh));
+    std::remove(path.c_str());
+}
+
+TEST(ParallelExecutor, CellBudgetSessionsMatchSingleShot)
+{
+    // Budgeted sessions with a parallel worker pool must still
+    // reassemble the single-shot report byte for byte.
+    const std::string path = "/tmp/vmargin_par_budget_journal";
+    std::remove(path.c_str());
+
+    const auto reference = sweep(4);
+
+    FrameworkConfig config = sweepConfig();
+    config.workers = 4;
+    config.journalPath = path;
+    config.cellBudget = 3;
+    CharacterizationReport report;
+    int sessions = 0;
+    do {
+        sim::Platform platform(sim::XGene2Params{},
+                               sim::ChipCorner::TTT, 7);
+        platform.installFaultPlan(hostilePlan());
+        CharacterizationFramework framework(&platform);
+        report = framework.characterize(config);
+        ++sessions;
+        ASSERT_LE(sessions, 4) << "8 cells / 3 per session";
+    } while (!report.complete);
+
+    EXPECT_EQ(sessions, 3);
+    EXPECT_EQ(serializeReport(report), serializeReport(reference));
+    std::remove(path.c_str());
+}
+
+TEST(ParallelExecutor, MatchesSingleCellMeasurement)
+{
+    // The executor's per-replica measurement must agree with the
+    // sequential characterizeCell() path on the caller's platform.
+    const auto report = sweep(8);
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           7);
+    platform.installFaultPlan(hostilePlan());
+    CharacterizationFramework framework(&platform);
+    const auto cell = framework.characterizeCell(
+        wl::findWorkload("bwaves/ref"), 4, sweepConfig());
+    EXPECT_EQ(cell.analysis.vmin,
+              report.cell("bwaves/ref", 4).analysis.vmin);
+}
+
+TEST(ParallelExecutor, ConfigFileCarriesWorkersAndCache)
+{
+    const auto file = util::ConfigFile::fromText(
+        "workloads = bwaves\n"
+        "cores = 0\n"
+        "workers = 4\n"
+        "cache = /tmp/vmargin_cfg_cache\n");
+    const auto config = FrameworkConfig::fromConfig(file);
+    EXPECT_EQ(config.workers, 4);
+    EXPECT_EQ(config.cachePath, "/tmp/vmargin_cfg_cache");
+}
+
+TEST(ParallelExecutorDeath, RejectsNegativeWorkers)
+{
+    FrameworkConfig config = sweepConfig();
+    config.workers = -2;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "workers");
+}
+
+} // namespace
+} // namespace vmargin
