@@ -7,10 +7,18 @@
  * here by hash; the full byte comparison lives in
  * tests/integration/test_parallel_executor).
  *
+ * Also times report derivation — rebuilding every per-cell analysis
+ * from the serialized run rows through deserializeReport(), the
+ * LedgerView-powered single-pass path — since resumed and archived
+ * campaigns pay this cost on every load.
+ *
  * Emits a JSON record per series so the bench trajectory can be
  * tracked across revisions:
  *
  *   {"bench":"campaign_throughput","cells":8,"series":[...]}
+ *
+ * With `--json <path>` the same record is additionally written to
+ * @p path (for CI artifact upload).
  *
  * The >= 3x speedup assertion at 8 workers only fires when the host
  * actually has >= 8 hardware threads: wall-clock speedup from
@@ -21,7 +29,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common.hh"
@@ -59,7 +70,7 @@ struct Series
 };
 
 Series
-sweepWith(int workers)
+sweepWith(int workers, std::string *bytes_out = nullptr)
 {
     FrameworkConfig config = eightCellConfig();
     config.workers = workers;
@@ -78,15 +89,46 @@ sweepWith(int workers)
     const double cells = static_cast<double>(
         config.workloads.size() * config.cores.size());
     series.cellsPerSec = cells / series.seconds;
-    series.reportHash = util::hashSeed(serializeReport(report));
+    const std::string bytes = serializeReport(report);
+    series.reportHash = util::hashSeed(bytes);
+    if (bytes_out)
+        *bytes_out = bytes;
     return series;
+}
+
+/** Time deserializeReport() — the LedgerView derivation path every
+ *  archived or resumed campaign pays on load. */
+double
+deriveMsPerIter(const std::string &bytes, int iterations)
+{
+    // One warm-up pass keeps the first iteration's page faults out
+    // of the measurement.
+    (void)deserializeReport(bytes);
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i)
+        (void)deserializeReport(bytes);
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin)
+               .count() /
+           iterations;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+            return 2;
+        }
+    }
+
     util::printBanner(std::cout,
                       "parallel campaign executor throughput "
                       "(8-cell sweep)");
@@ -97,10 +139,12 @@ main()
         counts.push_back(hardware);
 
     std::vector<Series> series;
+    std::string report_bytes;
     for (const int workers : counts) {
         std::cerr << "sweeping with " << workers << " worker"
                   << (workers == 1 ? "" : "s") << "...\n";
-        series.push_back(sweepWith(workers));
+        series.push_back(sweepWith(
+            workers, series.empty() ? &report_bytes : nullptr));
     }
 
     bool ok = true;
@@ -142,24 +186,42 @@ main()
                      "and is skipped (hashes still checked)\n";
     }
 
+    // Report derivation: parse + re-derive every analysis from the
+    // serialized rows (the cost every loadReport() pays).
+    const double derive_ms = deriveMsPerIter(report_bytes, 50);
+    std::cout << "report derivation: "
+              << util::formatDouble(derive_ms, 3) << " ms/iter ("
+              << report_bytes.size() << " bytes)\n";
+
     // Machine-readable trajectory record.
-    std::cout << "{\"bench\":\"campaign_throughput\",\"cells\":8,"
-              << "\"hardware_threads\":" << hardware
-              << ",\"series\":[";
+    std::ostringstream json;
+    json << "{\"bench\":\"campaign_throughput\",\"cells\":8,"
+         << "\"hardware_threads\":" << hardware << ",\"series\":[";
     for (size_t i = 0; i < series.size(); ++i) {
         const auto &s = series[i];
-        std::cout << (i ? "," : "") << "{\"workers\":" << s.workers
-                  << ",\"seconds\":"
-                  << util::formatDouble(s.seconds, 4)
-                  << ",\"cells_per_sec\":"
-                  << util::formatDouble(s.cellsPerSec, 2)
-                  << ",\"report_hash\":\"" << std::hex
-                  << s.reportHash << std::dec << "\"}";
+        json << (i ? "," : "") << "{\"workers\":" << s.workers
+             << ",\"seconds\":" << util::formatDouble(s.seconds, 4)
+             << ",\"cells_per_sec\":"
+             << util::formatDouble(s.cellsPerSec, 2)
+             << ",\"report_hash\":\"" << std::hex << s.reportHash
+             << std::dec << "\"}";
     }
-    std::cout << "],\"speedup_8v1\":"
-              << util::formatDouble(speedup8, 2)
-              << ",\"deterministic\":" << (ok ? "true" : "false")
-              << "}\n";
+    json << "],\"speedup_8v1\":" << util::formatDouble(speedup8, 2)
+         << ",\"derive_ms_per_iter\":"
+         << util::formatDouble(derive_ms, 4)
+         << ",\"report_bytes\":" << report_bytes.size()
+         << ",\"deterministic\":" << (ok ? "true" : "false") << "}";
+
+    std::cout << json.str() << "\n";
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "FAIL: cannot write JSON to '" << json_path
+                      << "'\n";
+            return 1;
+        }
+        out << json.str() << "\n";
+    }
 
     return ok ? 0 : 1;
 }

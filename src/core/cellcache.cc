@@ -1,136 +1,31 @@
 #include "cellcache.hh"
 
-#include <cstdlib>
-#include <fstream>
-#include <map>
-#include <sstream>
-
-#include "util/logging.hh"
-#include "util/strings.hh"
-
 namespace vmargin
 {
 
 namespace
 {
 
-constexpr const char *kCacheMagic = "# vmargin-cellcache v1";
-constexpr const char *kCellMarker = "CELL ";
-constexpr const char *kEndCellMarker = "ENDCELL ";
-
-/** Parse "key=value key=value ..." tokens from a marker line. */
-std::map<std::string, std::string>
-parseFields(const std::string &line)
-{
-    std::map<std::string, std::string> fields;
-    for (const auto &token : util::split(line, ' ')) {
-        const auto eq = token.find('=');
-        if (eq == std::string::npos)
-            continue;
-        fields[token.substr(0, eq)] = token.substr(eq + 1);
-    }
-    return fields;
-}
-
-uint64_t
-fieldUint(const std::map<std::string, std::string> &fields,
-          const char *key, int base = 10)
-{
-    const auto it = fields.find(key);
-    if (it == fields.end())
-        return 0;
-    return static_cast<uint64_t>(
-        std::strtoull(it->second.c_str(), nullptr, base));
-}
+/**
+ * Binding header for every cache file. The cache deliberately binds
+ * to nothing experiment-specific — one file serves many sweeps, and
+ * per-entry configuration hashes do the rejection the journal's
+ * header does per file.
+ */
+constexpr const char *kCacheHeader = "vmargin-cellcache";
 
 } // namespace
 
 CellResultCache::CellResultCache(std::string path)
-    : path_(std::move(path))
+    : ledger_(std::move(path), "cellcache")
 {
-    if (path_.empty())
-        util::fatalError("cellcache: empty path");
 }
 
 void
 CellResultCache::open()
 {
-    entries_.clear();
-
-    std::ifstream in(path_);
-    if (!in) {
-        // Fresh cache: create it with the magic line.
-        std::ofstream out(path_);
-        if (!out)
-            util::fatalError("cellcache: cannot create '" + path_ +
-                             "'");
-        out << kCacheMagic << '\n';
-        return;
-    }
-
-    std::string line;
-    if (!std::getline(in, line) || line != kCacheMagic)
-        util::fatalError("cellcache: '" + path_ +
-                         "' is not a vmargin cell cache");
-
-    bool in_cell = false;
-    Entry pending;
-    while (std::getline(in, line)) {
-        if (util::startsWith(line, kCellMarker)) {
-            const auto fields = parseFields(line);
-            pending = Entry{};
-            pending.configHash = fieldUint(fields, "config", 16);
-            pending.cell.workloadId = fields.count("workload")
-                                          ? fields.at("workload")
-                                          : std::string();
-            pending.cell.core = static_cast<CoreId>(
-                fieldUint(fields, "core"));
-            in_cell = true;
-        } else if (util::startsWith(line, kEndCellMarker)) {
-            if (!in_cell)
-                continue; // stray terminator; ignore
-            const auto fields = parseFields(line);
-            if (fieldUint(fields, "config", 16) !=
-                    pending.configHash ||
-                (fields.count("workload") &&
-                 fields.at("workload") != pending.cell.workloadId)) {
-                in_cell = false;
-                continue; // corrupt pairing; discard the entry
-            }
-            auto &cell = pending.cell;
-            cell.watchdogInterventions = fieldUint(fields, "watchdog");
-            cell.telemetry.retries = fieldUint(fields, "retries");
-            cell.telemetry.backoffEvents =
-                fieldUint(fields, "backoff_events");
-            cell.telemetry.backoffUsTotal =
-                fieldUint(fields, "backoff_us");
-            cell.telemetry.watchdogRetries =
-                fieldUint(fields, "watchdog_retries");
-            cell.telemetry.lostMeasurements =
-                fieldUint(fields, "lost");
-            cell.runs = parseCampaignLog(cell.rawLog);
-            if (cell.runs.size() == fieldUint(fields, "runs") &&
-                !findLocked(pending.configHash, cell.workloadId,
-                            cell.core))
-                entries_.push_back(std::move(pending));
-            in_cell = false;
-        } else if (in_cell) {
-            pending.cell.rawLog.push_back(line);
-        }
-    }
-}
-
-const CellMeasurement *
-CellResultCache::findLocked(Seed config_hash,
-                            const std::string &workload_id,
-                            CoreId core) const
-{
-    for (const auto &entry : entries_)
-        if (entry.configHash == config_hash &&
-            entry.cell.workloadId == workload_id &&
-            entry.cell.core == core)
-            return &entry.cell;
-    return nullptr;
+    ledger_.open(kCacheHeader,
+                 "is not a vmargin cell cache (header mismatch)");
 }
 
 const CellMeasurement *
@@ -138,50 +33,19 @@ CellResultCache::find(Seed config_hash,
                       const std::string &workload_id,
                       CoreId core) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return findLocked(config_hash, workload_id, core);
-}
-
-size_t
-CellResultCache::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    return ledger_.find(config_hash, workload_id, core);
 }
 
 void
 CellResultCache::put(Seed config_hash, const CellMeasurement &cell)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (findLocked(config_hash, cell.workloadId, cell.core))
-        return; // first write wins
+    ledger_.append(config_hash, cell);
+}
 
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        util::fatalError("cellcache: cannot append to '" + path_ +
-                         "'");
-    std::ostringstream hex;
-    hex << std::hex << config_hash;
-    out << kCellMarker << "config=" << hex.str()
-        << " core=" << cell.core
-        << " workload=" << cell.workloadId << '\n';
-    for (const auto &line : cell.rawLog)
-        out << line << '\n';
-    out << kEndCellMarker << "config=" << hex.str()
-        << " core=" << cell.core
-        << " workload=" << cell.workloadId
-        << " runs=" << cell.runs.size()
-        << " watchdog=" << cell.watchdogInterventions
-        << " retries=" << cell.telemetry.retries
-        << " backoff_events=" << cell.telemetry.backoffEvents
-        << " backoff_us=" << cell.telemetry.backoffUsTotal
-        << " watchdog_retries=" << cell.telemetry.watchdogRetries
-        << " lost=" << cell.telemetry.lostMeasurements << '\n';
-    out.flush();
-    if (!out)
-        util::fatalError("cellcache: write to '" + path_ +
-                         "' failed");
-    entries_.push_back(Entry{config_hash, cell});
+size_t
+CellResultCache::size() const
+{
+    return ledger_.size();
 }
 
 } // namespace vmargin

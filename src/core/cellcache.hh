@@ -7,30 +7,28 @@
  * repeated sweeps keep re-measuring cells whose outcome is already
  * known: every (workload, core) cell is a pure function of its
  * experiment coordinates and the measurement-shaping configuration.
- * The cache persists finished cells — same raw-log representation as
- * the write-ahead journal — keyed by (config hash, workload, core),
- * where the config hash covers every knob that shapes a cell's
- * measurement (cellConfigHash). Unlike the journal, which binds one
- * file to one exact sweep, one cache file serves many sweeps: cells
- * recorded under a *different* configuration hash are simply not
- * found (mirroring the journal's config-mismatch refusal, but per
- * entry instead of per file).
+ * The cache persists finished cells — the same RunLedger record
+ * stream as the write-ahead journal — keyed by (config hash,
+ * workload, core), where the config hash covers every knob that
+ * shapes a cell's measurement (cellConfigHash). Unlike the journal,
+ * which binds one file to one exact sweep via its header, one cache
+ * file serves many sweeps: cells recorded under a *different*
+ * configuration hash are simply not found (mirroring the journal's
+ * config-mismatch refusal, but per entry instead of per file).
  */
 
 #ifndef VMARGIN_CORE_CELLCACHE_HH
 #define VMARGIN_CORE_CELLCACHE_HH
 
-#include <mutex>
 #include <string>
-#include <vector>
 
-#include "framework.hh"
+#include "ledger.hh"
 
 namespace vmargin
 {
 
 /** Append-only, mutex-guarded (config, workload, core) -> cell map
- *  persisted next to the journal. */
+ *  persisted next to the journal. A thin view over a RunLedger. */
 class CellResultCache
 {
   public:
@@ -38,10 +36,11 @@ class CellResultCache
 
     /**
      * Load existing entries. A missing file is an empty cache; a
-     * file that does not start with the cache magic is refused
-     * (fatal — the path points at something else). A truncated
-     * trailing entry from a killed process is discarded. Not
-     * thread-safe; open before workers start.
+     * file that is not a vmargin ledger, or one written by a
+     * different ledger version, is refused (fatal — the path points
+     * at something else). A truncated trailing entry from a killed
+     * process is discarded. Not thread-safe; open before workers
+     * start.
      */
     void open();
 
@@ -65,22 +64,10 @@ class CellResultCache
     /** Number of cached cells across all configuration hashes. */
     size_t size() const;
 
-    const std::string &path() const { return path_; }
+    const std::string &path() const { return ledger_.path(); }
 
   private:
-    struct Entry
-    {
-        Seed configHash = 0;
-        CellMeasurement cell;
-    };
-
-    const CellMeasurement *findLocked(Seed config_hash,
-                                      const std::string &workload_id,
-                                      CoreId core) const;
-
-    std::string path_;
-    mutable std::mutex mutex_; ///< guards entries_ and the file tail
-    std::vector<Entry> entries_;
+    RunLedger ledger_;
 };
 
 } // namespace vmargin

@@ -168,6 +168,10 @@ CampaignExecutor::run(const FrameworkConfig &config)
     }
 
     // ---- merge: canonical order, independent of completion ------
+    // One LedgerView pass over the merged run stream derives every
+    // cell's analysis; cells keep first-seen (= plan, = canonical)
+    // order, so the report is byte-identical for any worker count.
+    LedgerView view(config.weights);
     for (size_t i = 0; i < plan.size(); ++i) {
         CellMeasurement &cell_measured =
             plan[i].fresh() ? measured[i] : plan[i].replayed;
@@ -192,14 +196,7 @@ CampaignExecutor::run(const FrameworkConfig &config)
             continue;
         }
 
-        CellResult cell;
-        cell.workloadId = cell_measured.workloadId;
-        cell.core = cell_measured.core;
-        cell.analysis = analyzeRegions(cell_measured.runs,
-                                       cell_measured.workloadId,
-                                       cell_measured.core,
-                                       config.weights);
-        report.cells.push_back(std::move(cell));
+        view.addAll(cell_measured.runs);
         report.totalRuns += cell_measured.runs.size();
         report.allRuns.insert(report.allRuns.end(),
                               cell_measured.runs.begin(),
@@ -208,6 +205,7 @@ CampaignExecutor::run(const FrameworkConfig &config)
             cell_measured.watchdogInterventions;
         report.telemetry.merge(cell_measured.telemetry);
     }
+    report.cells = view.cellResults();
 
     return report;
 }

@@ -66,19 +66,38 @@ void
 FrameworkConfig::validate() const
 {
     if (workloads.empty())
-        util::fatalError("framework: empty workload list");
+        util::fatalError("framework: empty workload list — "
+                         "configure at least one benchmark");
     if (cores.empty())
-        util::fatalError("framework: empty core list");
+        util::fatalError("framework: empty core list — configure at "
+                         "least one core id");
+    if (frequency < 1)
+        util::fatalError("framework: frequency_mhz must be >= 1 "
+                         "(got " +
+                         std::to_string(frequency) + ")");
     if (campaigns < 1)
-        util::fatalError("framework: campaigns must be >= 1");
+        util::fatalError("framework: campaigns must be >= 1 (got " +
+                         std::to_string(campaigns) + ")");
     if (runsPerVoltage < 1)
-        util::fatalError("framework: runsPerVoltage must be >= 1");
+        util::fatalError(
+            "framework: runs_per_voltage must be >= 1 (got " +
+            std::to_string(runsPerVoltage) + ")");
+    if (maxEpochs < 1)
+        util::fatalError("framework: max_epochs must be >= 1");
     if (startVoltage < endVoltage)
-        util::fatalError("framework: inverted voltage range");
+        util::fatalError(
+            "framework: inverted voltage range — the sweep descends, "
+            "so end_mv (" +
+            std::to_string(endVoltage) +
+            ") must not exceed start_mv (" +
+            std::to_string(startVoltage) + ")");
     if (cellBudget < 0)
-        util::fatalError("framework: cellBudget must be >= 0");
+        util::fatalError("framework: cell_budget must be >= 0 "
+                         "(got " +
+                         std::to_string(cellBudget) + ")");
     if (workers < 0)
-        util::fatalError("framework: workers must be >= 0");
+        util::fatalError("framework: workers must be >= 0 (got " +
+                         std::to_string(workers) + ")");
     retryPolicy.validate();
     weights.validate();
     for (const auto &workload : workloads)
@@ -184,6 +203,7 @@ CharacterizationFramework::characterizeCell(
     const wl::WorkloadProfile &workload, CoreId core,
     const FrameworkConfig &config)
 {
+    config.validate();
     const CellMeasurement measured =
         measureCell(workload, core, config);
     if (measured.runs.empty())

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign.hh"
+#include "ledger.hh"
 #include "regions.hh"
 #include "util/config.hh"
 
@@ -85,29 +86,9 @@ struct FrameworkConfig
     static FrameworkConfig fromConfig(const util::ConfigFile &file);
 };
 
-/** Result cell for one (workload, core) pair. */
-struct CellResult
-{
-    std::string workloadId;
-    CoreId core = 0;
-    RegionAnalysis analysis;
-};
-
-/**
- * One (workload, core) cell's complete measurement: the classified
- * runs of all campaign repetitions plus the raw log lines and the
- * recovery/watchdog record that produced them. This is the unit the
- * write-ahead journal persists and replays.
- */
-struct CellMeasurement
-{
-    std::string workloadId;
-    CoreId core = 0;
-    std::vector<ClassifiedRun> runs;
-    std::vector<std::string> rawLog;
-    uint64_t watchdogInterventions = 0;
-    RecoveryTelemetry telemetry;
-};
+// CellResult and CellMeasurement — the per-cell units the data
+// plane stores and derives — live in ledger.hh with the rest of the
+// record schema.
 
 /** Everything the framework produced for one chip. */
 struct CharacterizationReport

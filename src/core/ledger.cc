@@ -1,0 +1,670 @@
+#include "ledger.hh"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "severity.hh"
+#include "util/logging.hh"
+
+namespace vmargin
+{
+
+// ---- framing -----------------------------------------------------
+
+uint32_t
+ledgerChecksum(std::string_view payload)
+{
+    // FNV-1a 32: tiny, deterministic, and strong enough to catch the
+    // bit rot and torn writes the framing defends against.
+    uint32_t hash = 2166136261u;
+    for (const char c : payload) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+namespace
+{
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(
+            static_cast<char>((value >> shift) & 0xffu));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(
+            static_cast<char>((value >> shift) & 0xffu));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    // Bit-exact: the report rebuilt from a replayed cell must equal
+    // the freshly measured one byte for byte, so doubles round-trip
+    // through their bits, never through decimal text.
+    putU64(out, std::bit_cast<uint64_t>(value));
+}
+
+void
+putString(std::string &out, const std::string &text)
+{
+    putU32(out, static_cast<uint32_t>(text.size()));
+    out.append(text);
+}
+
+void
+putSiteCounts(std::string &out,
+              const std::map<std::string, uint64_t> &sites)
+{
+    putU32(out, static_cast<uint32_t>(sites.size()));
+    for (const auto &[site, count] : sites) {
+        putString(out, site);
+        putU64(out, count);
+    }
+}
+
+/** Bounds-checked little-endian reader over one frame payload. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(std::string_view payload)
+        : payload_(payload)
+    {
+    }
+
+    bool ok() const { return ok_; }
+
+    uint8_t
+    u8()
+    {
+        if (!require(1))
+            return 0;
+        return static_cast<uint8_t>(payload_[pos_++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!require(4))
+            return 0;
+        uint32_t value = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            value |= static_cast<uint32_t>(static_cast<unsigned char>(
+                         payload_[pos_++]))
+                     << shift;
+        return value;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!require(8))
+            return 0;
+        uint64_t value = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            value |= static_cast<uint64_t>(static_cast<unsigned char>(
+                         payload_[pos_++]))
+                     << shift;
+        return value;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const uint32_t length = u32();
+        if (!require(length))
+            return {};
+        std::string text(payload_.substr(pos_, length));
+        pos_ += length;
+        return text;
+    }
+
+    std::map<std::string, uint64_t>
+    siteCounts()
+    {
+        std::map<std::string, uint64_t> sites;
+        const uint32_t entries = u32();
+        for (uint32_t i = 0; i < entries && ok_; ++i) {
+            std::string site = str();
+            const uint64_t count = u64();
+            if (ok_)
+                sites[std::move(site)] = count;
+        }
+        return sites;
+    }
+
+  private:
+    bool
+    require(size_t bytes)
+    {
+        if (!ok_ || payload_.size() - pos_ < bytes) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::string_view payload_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+void
+putTelemetry(std::string &out, const RecoveryTelemetry &telemetry)
+{
+    // The cell-level counters the journal has always persisted;
+    // fallbackRounds is daemon-scoped and journalReplays/cacheHits
+    // are session-scoped, so none of those belong to a cell record.
+    putU64(out, telemetry.retries);
+    putU64(out, telemetry.backoffEvents);
+    putU64(out, telemetry.backoffUsTotal);
+    putU64(out, telemetry.watchdogRetries);
+    putU64(out, telemetry.lostMeasurements);
+}
+
+RecoveryTelemetry
+readTelemetry(PayloadReader &reader)
+{
+    RecoveryTelemetry telemetry;
+    telemetry.retries = reader.u64();
+    telemetry.backoffEvents = reader.u64();
+    telemetry.backoffUsTotal = reader.u64();
+    telemetry.watchdogRetries = reader.u64();
+    telemetry.lostMeasurements = reader.u64();
+    return telemetry;
+}
+
+} // namespace
+
+void
+appendFrame(std::string &out, std::string_view payload)
+{
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    putU32(out, ledgerChecksum(payload));
+    out.append(payload);
+}
+
+std::string
+encodeRunRecord(const RunRecord &record)
+{
+    std::string payload;
+    payload.push_back(
+        static_cast<char>(LedgerRecord::Kind::Run));
+    putString(payload, record.key.workloadId);
+    putU32(payload, static_cast<uint32_t>(record.key.core));
+    putU32(payload, static_cast<uint32_t>(record.key.voltage));
+    putU32(payload, static_cast<uint32_t>(record.key.frequency));
+    putU32(payload, record.key.campaign);
+    putU32(payload, record.key.runIndex);
+    putString(payload, record.effects.toString());
+    putU64(payload, record.sdcEvents);
+    putU64(payload, record.correctedErrors);
+    putU64(payload, record.uncorrectedErrors);
+    putU32(payload, static_cast<uint32_t>(record.exitCode));
+    putF64(payload, record.seconds);
+    putF64(payload, record.avgIpc);
+    putF64(payload, record.activityFactor);
+    putSiteCounts(payload, record.correctedBySite);
+    putSiteCounts(payload, record.uncorrectedBySite);
+    return payload;
+}
+
+std::string
+encodeCellCommit(const CellCommit &commit)
+{
+    std::string payload;
+    payload.push_back(
+        static_cast<char>(LedgerRecord::Kind::Commit));
+    putU64(payload, commit.configHash);
+    putString(payload, commit.workloadId);
+    putU32(payload, static_cast<uint32_t>(commit.core));
+    putU32(payload, commit.runCount);
+    putU64(payload, commit.watchdogInterventions);
+    putTelemetry(payload, commit.telemetry);
+    return payload;
+}
+
+bool
+decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
+{
+    PayloadReader reader(payload);
+    const auto kind = static_cast<LedgerRecord::Kind>(reader.u8());
+    switch (kind) {
+      case LedgerRecord::Kind::Run: {
+        record.kind = LedgerRecord::Kind::Run;
+        RunRecord &run = record.run;
+        run = RunRecord{};
+        run.key.workloadId = reader.str();
+        run.key.core = static_cast<CoreId>(reader.u32());
+        run.key.voltage = static_cast<MilliVolt>(reader.u32());
+        run.key.frequency = static_cast<MegaHertz>(reader.u32());
+        run.key.campaign = reader.u32();
+        run.key.runIndex = reader.u32();
+        run.effects = EffectSet::fromString(reader.str());
+        run.sdcEvents = reader.u64();
+        run.correctedErrors = reader.u64();
+        run.uncorrectedErrors = reader.u64();
+        run.exitCode = static_cast<int>(reader.u32());
+        run.seconds = reader.f64();
+        run.avgIpc = reader.f64();
+        run.activityFactor = reader.f64();
+        run.correctedBySite = reader.siteCounts();
+        run.uncorrectedBySite = reader.siteCounts();
+        return reader.ok();
+      }
+      case LedgerRecord::Kind::Commit: {
+        record.kind = LedgerRecord::Kind::Commit;
+        CellCommit &commit = record.commit;
+        commit = CellCommit{};
+        commit.configHash = reader.u64();
+        commit.workloadId = reader.str();
+        commit.core = static_cast<CoreId>(reader.u32());
+        commit.runCount = reader.u32();
+        commit.watchdogInterventions = reader.u64();
+        commit.telemetry = readTelemetry(reader);
+        return reader.ok();
+      }
+    }
+    return false;
+}
+
+// ---- RunLedger ---------------------------------------------------
+
+namespace
+{
+
+constexpr size_t kMagicBytes = 4;
+constexpr size_t kFramePrefixBytes = 8; ///< u32 length + u32 checksum
+
+/** Header frame payload: framing version + application header. */
+std::string
+encodeHeader(const std::string &app_header)
+{
+    std::string payload;
+    putU32(payload, kLedgerVersion);
+    putString(payload, app_header);
+    return payload;
+}
+
+} // namespace
+
+RunLedger::RunLedger(std::string path, std::string name)
+    : path_(std::move(path)), name_(std::move(name))
+{
+    if (path_.empty())
+        util::fatalError(name_ + ": empty path");
+}
+
+void
+RunLedger::open(const std::string &app_header,
+                const std::string &mismatch_hint)
+{
+    entries_.clear();
+
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+        // Fresh ledger: create it with the magic and binding header.
+        std::ofstream out(path_, std::ios::binary);
+        if (!out)
+            util::fatalError(name_ + ": cannot create '" + path_ +
+                             "'");
+        std::string bytes(kLedgerMagic, kMagicBytes);
+        appendFrame(bytes, encodeHeader(app_header));
+        out << bytes;
+        return;
+    }
+
+    std::string bytes;
+    {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+
+    if (bytes.size() < kMagicBytes ||
+        bytes.compare(0, kMagicBytes, kLedgerMagic, kMagicBytes) != 0)
+        util::fatalError(name_ + ": '" + path_ +
+                         "' is not a vmargin ledger file");
+
+    // Walk the frames. The header frame is mandatory and versioned;
+    // record frames tolerate corruption (skip) and truncation
+    // (stop): the tail a killed process was writing is re-run, not
+    // trusted.
+    size_t pos = kMagicBytes;
+    bool saw_header = false;
+    CellMeasurement pending;
+    bool pending_corrupt = false;
+    size_t pending_records = 0;
+
+    const auto resetPending = [&]() {
+        pending = CellMeasurement{};
+        pending_corrupt = false;
+        pending_records = 0;
+    };
+    resetPending();
+
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < kFramePrefixBytes) {
+            util::warnf(name_, ": '", path_,
+                        "' ends in a truncated frame prefix; "
+                        "discarding the tail");
+            break;
+        }
+        uint32_t length = 0;
+        uint32_t checksum = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            length |= static_cast<uint32_t>(static_cast<unsigned char>(
+                          bytes[pos + static_cast<size_t>(shift / 8)]))
+                      << shift;
+        for (int shift = 0; shift < 32; shift += 8)
+            checksum |=
+                static_cast<uint32_t>(static_cast<unsigned char>(
+                    bytes[pos + 4 + static_cast<size_t>(shift / 8)]))
+                << shift;
+        pos += kFramePrefixBytes;
+        if (bytes.size() - pos < length) {
+            util::warnf(name_, ": '", path_,
+                        "' ends in a truncated record; discarding "
+                        "the tail");
+            break;
+        }
+        const std::string_view payload(bytes.data() + pos, length);
+        pos += length;
+
+        if (!saw_header) {
+            // First frame binds the file: framing version and the
+            // application header must both match.
+            if (ledgerChecksum(payload) != checksum)
+                util::fatalError(name_ + ": '" + path_ +
+                                 "' has a corrupt header frame");
+            PayloadReader reader(payload);
+            const uint32_t version = reader.u32();
+            if (version != kLedgerVersion)
+                util::fatalError(
+                    name_ + ": '" + path_ + "' uses ledger version " +
+                    std::to_string(version) + ", this build reads " +
+                    std::to_string(kLedgerVersion) +
+                    "; refusing to mix versions");
+            const std::string header = reader.str();
+            if (!reader.ok())
+                util::fatalError(name_ + ": '" + path_ +
+                                 "' has a malformed header frame");
+            if (header != app_header)
+                util::fatalError(name_ + ": '" + path_ + "' " +
+                                 (mismatch_hint.empty()
+                                      ? std::string(
+                                            "header mismatch")
+                                      : mismatch_hint));
+            saw_header = true;
+            continue;
+        }
+
+        if (ledgerChecksum(payload) != checksum) {
+            util::warnf(name_, ": '", path_,
+                        "' frame checksum mismatch; skipping the "
+                        "record");
+            // The cell this record belonged to can no longer prove
+            // integrity; poison it so its commit is refused.
+            pending_corrupt = true;
+            continue;
+        }
+
+        LedgerRecord record;
+        if (!decodeLedgerRecord(payload, record)) {
+            util::warnf(name_, ": '", path_,
+                        "' malformed record; skipping it");
+            pending_corrupt = true;
+            continue;
+        }
+
+        if (record.kind == LedgerRecord::Kind::Run) {
+            if (pending_records == 0)
+                pending.workloadId = record.run.key.workloadId;
+            pending.runs.push_back(std::move(record.run));
+            ++pending_records;
+            continue;
+        }
+
+        // Commit: accept the pending cell only when intact — the
+        // run count matches, nothing in between was corrupt, and
+        // the key is not already present (first occurrence wins;
+        // racing sessions may append the same cell twice).
+        const CellCommit &commit = record.commit;
+        const bool intact =
+            !pending_corrupt &&
+            pending.runs.size() == commit.runCount;
+        if (intact &&
+            !findLocked(commit.configHash, commit.workloadId,
+                        commit.core)) {
+            pending.workloadId = commit.workloadId;
+            pending.core = commit.core;
+            pending.watchdogInterventions =
+                commit.watchdogInterventions;
+            pending.telemetry = commit.telemetry;
+            entries_.push_back(
+                Entry{commit.configHash, std::move(pending)});
+        }
+        resetPending();
+    }
+    if (!saw_header)
+        util::fatalError(name_ + ": '" + path_ +
+                         "' has no header frame");
+}
+
+const CellMeasurement *
+RunLedger::findLocked(Seed config_hash,
+                      const std::string &workload_id,
+                      CoreId core) const
+{
+    for (const auto &entry : entries_)
+        if (entry.configHash == config_hash &&
+            entry.cell.workloadId == workload_id &&
+            entry.cell.core == core)
+            return &entry.cell;
+    return nullptr;
+}
+
+const CellMeasurement *
+RunLedger::find(Seed config_hash, const std::string &workload_id,
+                CoreId core) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(config_hash, workload_id, core);
+}
+
+size_t
+RunLedger::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+RunLedger::append(Seed config_hash, const CellMeasurement &cell)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (findLocked(config_hash, cell.workloadId, cell.core))
+        return; // first write wins
+
+    std::string bytes;
+    for (const auto &run : cell.runs)
+        appendFrame(bytes, encodeRunRecord(run));
+    CellCommit commit;
+    commit.configHash = config_hash;
+    commit.workloadId = cell.workloadId;
+    commit.core = cell.core;
+    commit.runCount = static_cast<uint32_t>(cell.runs.size());
+    commit.watchdogInterventions = cell.watchdogInterventions;
+    commit.telemetry = cell.telemetry;
+    appendFrame(bytes, encodeCellCommit(commit));
+
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out)
+        util::fatalError(name_ + ": cannot append to '" + path_ +
+                         "'");
+    out << bytes;
+    out.flush();
+    if (!out)
+        util::fatalError(name_ + ": write to '" + path_ +
+                         "' failed");
+    entries_.push_back(Entry{config_hash, cell});
+}
+
+// ---- LedgerView --------------------------------------------------
+
+LedgerView::LedgerView(SeverityWeights weights)
+    : weights_(weights)
+{
+    weights_.validate();
+}
+
+void
+LedgerView::add(const RunRecord &record)
+{
+    const auto key =
+        std::make_pair(record.key.workloadId, record.key.core);
+    const auto it = index_.find(key);
+    size_t slot;
+    if (it == index_.end()) {
+        slot = groups_.size();
+        index_.emplace(key, slot);
+        Group group;
+        group.key =
+            CellKey{record.key.workloadId, record.key.core};
+        groups_.push_back(std::move(group));
+        order_.push_back(groups_.back().key);
+    } else {
+        slot = it->second;
+    }
+    Group &group = groups_[slot];
+    group.runsByVoltage[record.key.voltage].push_back(
+        record.effects);
+    group.analyzed = false;
+    ++runCount_;
+}
+
+void
+LedgerView::addAll(const std::vector<RunRecord> &records)
+{
+    for (const auto &record : records)
+        add(record);
+}
+
+const LedgerView::Group *
+LedgerView::group(const std::string &workload_id, CoreId core) const
+{
+    const auto it = index_.find(std::make_pair(workload_id, core));
+    if (it == index_.end())
+        return nullptr;
+    return &groups_[it->second];
+}
+
+void
+LedgerView::analyze(const Group &group) const
+{
+    // The one computation site for regions and severity by voltage:
+    // a single pass over the cell's grouped effects. Every derived
+    // consumer — analyzeRegions(), the report rebuild, the severity
+    // datasets, the CSV paths — reads the result of this pass.
+    RegionAnalysis analysis;
+    analysis.runsByVoltage = group.runsByVoltage;
+    for (const auto &[voltage, effect_sets] :
+         analysis.runsByVoltage) {
+        bool any_abnormal = false;
+        bool any_crash = false;
+        for (const auto &set : effect_sets) {
+            any_abnormal = any_abnormal || !set.normal();
+            any_crash = any_crash || set.has(Effect::SC);
+        }
+        Region region = Region::Safe;
+        if (any_crash)
+            region = Region::Crash;
+        else if (any_abnormal)
+            region = Region::Unsafe;
+        analysis.regions[voltage] = region;
+        analysis.severityByVoltage[voltage] =
+            severity(effect_sets, weights_);
+
+        if (any_crash && voltage > analysis.highestCrashVoltage)
+            analysis.highestCrashVoltage = voltage;
+        if (any_abnormal && voltage > analysis.highestAbnormalVoltage)
+            analysis.highestAbnormalVoltage = voltage;
+    }
+
+    // Safe Vmin: walk from the top; the first non-safe level bounds
+    // the safe region from below. Maps iterate ascending, so walk
+    // in reverse.
+    MilliVolt vmin = 0;
+    for (auto it = analysis.regions.rbegin();
+         it != analysis.regions.rend(); ++it) {
+        if (it->second != Region::Safe)
+            break;
+        vmin = it->first;
+    }
+    if (vmin == 0) {
+        // Even the highest measured voltage was abnormal; report the
+        // level just above it as the (censored) Vmin.
+        vmin = analysis.regions.rbegin()->first;
+        util::warnf("analyzeRegions: ", group.key.workloadId,
+                    " core ", group.key.core,
+                    " abnormal at the top of the sweep; Vmin is "
+                    "censored at ",
+                    vmin, " mV");
+    }
+    analysis.vmin = vmin;
+
+    group.analysis = std::move(analysis);
+    group.analyzed = true;
+}
+
+const RegionAnalysis *
+LedgerView::analysis(const std::string &workload_id,
+                     CoreId core) const
+{
+    const Group *cell = group(workload_id, core);
+    if (!cell)
+        return nullptr;
+    if (!cell->analyzed)
+        analyze(*cell);
+    return &cell->analysis;
+}
+
+const std::map<MilliVolt, double> &
+LedgerView::severityByVoltage(const std::string &workload_id,
+                              CoreId core) const
+{
+    const RegionAnalysis *cell = analysis(workload_id, core);
+    if (!cell)
+        util::panicf("LedgerView: no records for ", workload_id,
+                     " on core ", core);
+    return cell->severityByVoltage;
+}
+
+std::vector<CellResult>
+LedgerView::cellResults() const
+{
+    std::vector<CellResult> cells;
+    cells.reserve(groups_.size());
+    for (const auto &group : groups_) {
+        if (!group.analyzed)
+            analyze(group);
+        CellResult cell;
+        cell.workloadId = group.key.workloadId;
+        cell.core = group.key.core;
+        cell.analysis = group.analysis;
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+} // namespace vmargin

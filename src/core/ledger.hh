@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The run ledger: one typed, append-only record stream unifying
+ * every persistence format of the data plane.
+ *
+ * The paper's "safe data collection" discipline stores every run's
+ * effects durably so the parsing/analysis phases can execute long
+ * after the (six-month!) measurement campaigns, and the follow-up
+ * framework paper (arXiv:2106.09975) makes the logging/parsing split
+ * explicit. Before this module the repo had three divergent
+ * persistence formats — the write-ahead journal, the cell-result
+ * cache and the report CSV — each with its own framing and parsing,
+ * and four analysis stages that re-walked the run rows with ad-hoc
+ * loops. The ledger collapses all of that onto two pieces:
+ *
+ *  - a **record schema**: `RunRecord` (the chip/core/workload/
+ *    voltage/campaign/run coordinates plus the classified `EffectSet`
+ *    and per-run telemetry — exactly the columns of the final CSV)
+ *    and `CellCommit` (the marker closing one (workload, core)
+ *    cell's records, carrying the cell-level recovery telemetry);
+ *
+ *  - a **binary framing**: every record is a length-prefixed,
+ *    checksummed frame. A killed process leaves a truncated tail
+ *    that is detected and discarded; a corrupted frame is skipped
+ *    with a warning; a file written by a different ledger version is
+ *    refused outright.
+ *
+ * `CampaignJournal` and `CellResultCache` are thin views over a
+ * `RunLedger` (their only difference is the binding header and
+ * whether the cell key includes a configuration hash), and every
+ * analysis consumer derives its view — region analyses, severity by
+ * voltage, the characterization report, prediction datasets —
+ * through the single-pass `LedgerView` aggregator instead of
+ * re-walking the rows per stage.
+ */
+
+#ifndef VMARGIN_CORE_LEDGER_HH
+#define VMARGIN_CORE_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classifier.hh"
+#include "recovery.hh"
+#include "regions.hh"
+#include "util/types.hh"
+
+namespace vmargin
+{
+
+/**
+ * One (workload, core) cell's complete measurement: the classified
+ * runs of all campaign repetitions plus the raw log lines and the
+ * recovery/watchdog record that produced them. This is the unit the
+ * ledger commits and replays. Raw log lines exist only for freshly
+ * measured cells — the ledger persists the classified records, not
+ * the logs they were parsed from.
+ */
+struct CellMeasurement
+{
+    std::string workloadId;
+    CoreId core = 0;
+    std::vector<ClassifiedRun> runs;
+    std::vector<std::string> rawLog;
+    uint64_t watchdogInterventions = 0;
+    RecoveryTelemetry telemetry;
+};
+
+/** Result cell for one (workload, core) pair. */
+struct CellResult
+{
+    std::string workloadId;
+    CoreId core = 0;
+    RegionAnalysis analysis;
+};
+
+/**
+ * The ledger's unit record: one classified characterization run.
+ * `ClassifiedRun` already carries exactly the ledger columns — the
+ * (workload, core, voltage, frequency, campaign, run) coordinates,
+ * the `EffectSet`, and the per-run telemetry (error counts, exit
+ * code, timing, per-site EDAC detail) — so it *is* the run record;
+ * the alias fixes the canonical name. The CSV emitter
+ * (`classifiedRunCsvRow`) and the binary codec below are the two
+ * encoders over this one schema.
+ */
+using RunRecord = ClassifiedRun;
+
+/**
+ * Commit marker closing one (workload, core) cell's run records.
+ * A cell is complete only when its commit frame is present and its
+ * `runCount` matches the records that precede it — the write-ahead
+ * contract: a killed process's half-written cell is re-run, never
+ * trusted.
+ */
+struct CellCommit
+{
+    /** cellConfigHash() key for cache entries; 0 in journals, which
+     *  bind the whole file to one experiment instead. */
+    Seed configHash = 0;
+    std::string workloadId;
+    CoreId core = 0;
+    uint32_t runCount = 0; ///< run records under this commit
+    uint64_t watchdogInterventions = 0;
+    RecoveryTelemetry telemetry;
+};
+
+/** One decoded ledger record. */
+struct LedgerRecord
+{
+    enum class Kind : uint8_t
+    {
+        Run = 1,
+        Commit = 2,
+    };
+    Kind kind = Kind::Run;
+    RunRecord run;     ///< valid when kind == Run
+    CellCommit commit; ///< valid when kind == Commit
+};
+
+// ---- framing -----------------------------------------------------
+
+/** First bytes of every ledger file. */
+inline constexpr char kLedgerMagic[] = "VMLG";
+
+/** Current framing version; files of any other version are refused. */
+inline constexpr uint32_t kLedgerVersion = 1;
+
+/** Frame checksum (FNV-1a 32) over a payload. */
+uint32_t ledgerChecksum(std::string_view payload);
+
+/** Append one frame (length + checksum + payload) to @p out. */
+void appendFrame(std::string &out, std::string_view payload);
+
+/** Encode records to frame payloads (no framing applied). */
+std::string encodeRunRecord(const RunRecord &record);
+std::string encodeCellCommit(const CellCommit &commit);
+
+/**
+ * Decode one frame payload. Returns false on a malformed payload
+ * (unknown kind, short buffer) — the caller skips the record the
+ * same way it skips a checksum mismatch.
+ */
+bool decodeLedgerRecord(std::string_view payload,
+                        LedgerRecord &record);
+
+/**
+ * Append-only, mutex-guarded ledger over one file.
+ *
+ * On disk: the 4-byte magic, a header frame (framing version + an
+ * application binding header), then record frames. Cells are
+ * appended atomically — all run frames plus the commit frame are
+ * written and flushed under one lock (write-ahead semantics: a
+ * killed process keeps every committed cell). Loading tolerates a
+ * truncated tail (discarded with a warning), skips checksum-failed
+ * frames, and refuses foreign files and version mismatches.
+ *
+ * Completed cells are keyed by (configHash, workload, core); the
+ * first intact occurrence wins, so racing sessions appending the
+ * same cell — or a resume merging out-of-order parallel appends —
+ * converge on one measurement per key.
+ */
+class RunLedger
+{
+  public:
+    /**
+     * @param path ledger file
+     * @param name message prefix ("journal", "cellcache", ...)
+     */
+    RunLedger(std::string path, std::string name);
+
+    /**
+     * Bind to @p app_header: a fresh file is created with it, an
+     * existing file must carry it verbatim (fatal otherwise, with
+     * @p mismatch_hint appended to the error). Loads all committed
+     * cells. Not thread-safe; open before workers start.
+     */
+    void open(const std::string &app_header,
+              const std::string &mismatch_hint = "");
+
+    /**
+     * Committed measurement for the cell, or nullptr; entries
+     * recorded under a different @p config_hash are not found. The
+     * pointer is invalidated by the next append.
+     */
+    const CellMeasurement *find(Seed config_hash,
+                                const std::string &workload_id,
+                                CoreId core) const;
+
+    /**
+     * Append a cell's run records plus its commit frame and flush.
+     * Safe to call concurrently. A duplicate key is ignored — first
+     * write wins.
+     */
+    void append(Seed config_hash, const CellMeasurement &cell);
+
+    /** Number of committed cells across all configuration hashes. */
+    size_t size() const;
+
+    /** Loaded cells in on-disk (completion) order, with their keys.
+     *  Invalidated by the next append. */
+    struct Entry
+    {
+        Seed configHash = 0;
+        CellMeasurement cell;
+    };
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    const CellMeasurement *findLocked(Seed config_hash,
+                                      const std::string &workload_id,
+                                      CoreId core) const;
+
+    std::string path_;
+    std::string name_;
+    mutable std::mutex mutex_; ///< guards entries_ and the file tail
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Single-pass aggregator deriving every analysis view from a run
+ * stream. Stream records in with add(); the per-cell region
+ * analyses (regions, severity by voltage, Vmin, crash ceilings) are
+ * computed once, lazily, from the grouped effects — `regions.cc`
+ * and the report/CSV rebuild path both read severity from here
+ * instead of recomputing it per stage. Cells keep first-seen
+ * (canonical stream) order, so a view fed in canonical cell order
+ * reproduces the executor's report cell order exactly.
+ */
+class LedgerView
+{
+  public:
+    explicit LedgerView(SeverityWeights weights = {});
+
+    /** Stream one run record into the view. */
+    void add(const RunRecord &record);
+
+    /** Stream a batch of records. */
+    void addAll(const std::vector<RunRecord> &records);
+
+    /** Number of records streamed so far. */
+    size_t runCount() const { return runCount_; }
+
+    /** Cell keys in first-seen order. */
+    struct CellKey
+    {
+        std::string workloadId;
+        CoreId core = 0;
+    };
+    const std::vector<CellKey> &cellOrder() const { return order_; }
+
+    /**
+     * Region analysis of one cell, or nullptr when the cell has no
+     * records. Computed on first access, single pass over the
+     * cell's grouped effects; later add() calls invalidate and
+     * recompute.
+     */
+    const RegionAnalysis *analysis(const std::string &workload_id,
+                                   CoreId core) const;
+
+    /** Severity-by-voltage view of one cell (the single source both
+     *  regions.cc and the report path read); panics when the cell
+     *  has no records. */
+    const std::map<MilliVolt, double> &
+    severityByVoltage(const std::string &workload_id,
+                      CoreId core) const;
+
+    /** All cells' results in first-seen order. */
+    std::vector<CellResult> cellResults() const;
+
+    const SeverityWeights &weights() const { return weights_; }
+
+  private:
+    struct Group
+    {
+        CellKey key;
+        /** Effects grouped by voltage — the accumulation the whole
+         *  analysis derives from. */
+        std::map<MilliVolt, std::vector<EffectSet>> runsByVoltage;
+        mutable RegionAnalysis analysis;
+        mutable bool analyzed = false;
+    };
+
+    const Group *group(const std::string &workload_id,
+                       CoreId core) const;
+    void analyze(const Group &group) const;
+
+    SeverityWeights weights_;
+    std::vector<Group> groups_;
+    std::map<std::pair<std::string, CoreId>, size_t> index_;
+    std::vector<CellKey> order_;
+    size_t runCount_ = 0;
+};
+
+} // namespace vmargin
+
+#endif // VMARGIN_CORE_LEDGER_HH

@@ -1,13 +1,24 @@
 #include "predictor.hh"
 
+#include <functional>
+
 #include "util/logging.hh"
 
 namespace vmargin
 {
 
+namespace
+{
+
+/** Resolves one workload's derived analysis on the target core —
+ *  the only piece that differs between the report-backed and the
+ *  ledger-backed dataset builders. */
+using AnalysisLookup =
+    std::function<const RegionAnalysis &(const std::string &)>;
+
 Dataset
-buildVminDataset(const std::vector<WorkloadCounters> &profiles,
-                 const CharacterizationReport &report, CoreId core)
+vminDatasetFrom(const std::vector<WorkloadCounters> &profiles,
+                const AnalysisLookup &analysisFor)
 {
     if (profiles.empty())
         util::panicf("buildVminDataset: no profiles");
@@ -17,18 +28,16 @@ buildVminDataset(const std::vector<WorkloadCounters> &profiles,
     dataset.x = counterFeatureMatrix(profiles);
     dataset.y.reserve(profiles.size());
     for (const auto &profile : profiles) {
-        const auto &cell = report.cell(profile.workloadId, core);
-        dataset.y.push_back(
-            static_cast<double>(cell.analysis.vmin));
+        dataset.y.push_back(static_cast<double>(
+            analysisFor(profile.workloadId).vmin));
         dataset.sampleIds.push_back(profile.workloadId);
     }
     return dataset;
 }
 
 Dataset
-buildSeverityDataset(const std::vector<WorkloadCounters> &profiles,
-                     const CharacterizationReport &report,
-                     CoreId core)
+severityDatasetFrom(const std::vector<WorkloadCounters> &profiles,
+                    const AnalysisLookup &analysisFor, CoreId core)
 {
     if (profiles.empty())
         util::panicf("buildSeverityDataset: no profiles");
@@ -39,11 +48,10 @@ buildSeverityDataset(const std::vector<WorkloadCounters> &profiles,
 
     std::vector<stats::Vector> rows;
     for (const auto &profile : profiles) {
-        const auto &cell = report.cell(profile.workloadId, core);
         // One sample per measured 5 mV step that showed abnormal
         // behaviour (severity > 0): counters at nominal + voltage.
         for (const auto &[voltage, sev] :
-             cell.analysis.severityByVoltage) {
+             analysisFor(profile.workloadId).severityByVoltage) {
             if (sev <= 0.0)
                 continue;
             stats::Vector row;
@@ -64,6 +72,62 @@ buildSeverityDataset(const std::vector<WorkloadCounters> &profiles,
                      core);
     dataset.x = stats::Matrix::fromRows(rows);
     return dataset;
+}
+
+AnalysisLookup
+reportLookup(const CharacterizationReport &report, CoreId core)
+{
+    return [&report, core](const std::string &workload_id)
+               -> const RegionAnalysis & {
+        return report.cell(workload_id, core).analysis;
+    };
+}
+
+AnalysisLookup
+viewLookup(const LedgerView &view, CoreId core)
+{
+    return [&view, core](const std::string &workload_id)
+               -> const RegionAnalysis & {
+        const RegionAnalysis *analysis =
+            view.analysis(workload_id, core);
+        if (!analysis)
+            util::panicf("predictor: no ledger records for ",
+                         workload_id, " on core ", core);
+        return *analysis;
+    };
+}
+
+} // namespace
+
+Dataset
+buildVminDataset(const std::vector<WorkloadCounters> &profiles,
+                 const CharacterizationReport &report, CoreId core)
+{
+    return vminDatasetFrom(profiles, reportLookup(report, core));
+}
+
+Dataset
+buildSeverityDataset(const std::vector<WorkloadCounters> &profiles,
+                     const CharacterizationReport &report,
+                     CoreId core)
+{
+    return severityDatasetFrom(profiles, reportLookup(report, core),
+                               core);
+}
+
+Dataset
+buildVminDataset(const std::vector<WorkloadCounters> &profiles,
+                 const LedgerView &view, CoreId core)
+{
+    return vminDatasetFrom(profiles, viewLookup(view, core));
+}
+
+Dataset
+buildSeverityDataset(const std::vector<WorkloadCounters> &profiles,
+                     const LedgerView &view, CoreId core)
+{
+    return severityDatasetFrom(profiles, viewLookup(view, core),
+                               core);
 }
 
 void

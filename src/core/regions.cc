@@ -1,5 +1,6 @@
 #include "regions.hh"
 
+#include "ledger.hh"
 #include "util/logging.hh"
 
 namespace vmargin
@@ -44,61 +45,23 @@ analyzeRegions(const std::vector<ClassifiedRun> &runs,
                const std::string &workload_id, CoreId core,
                const SeverityWeights &weights)
 {
-    RegionAnalysis analysis;
+    // The region/severity math lives in LedgerView::analyze() — the
+    // single computation site every consumer (this wrapper, the
+    // report rebuild, the severity datasets) reads from. This
+    // wrapper adds only the filter-by-cell convenience and the
+    // missing-cell panic.
+    LedgerView view(weights);
     for (const auto &run : runs) {
         if (run.key.workloadId != workload_id || run.key.core != core)
             continue;
-        analysis.runsByVoltage[run.key.voltage].push_back(
-            run.effects);
+        view.add(run);
     }
-    if (analysis.runsByVoltage.empty())
+    const RegionAnalysis *analysis =
+        view.analysis(workload_id, core);
+    if (!analysis)
         util::panicf("analyzeRegions: no runs for ", workload_id,
                      " on core ", core);
-
-    for (const auto &[voltage, effect_sets] :
-         analysis.runsByVoltage) {
-        bool any_abnormal = false;
-        bool any_crash = false;
-        for (const auto &set : effect_sets) {
-            any_abnormal = any_abnormal || !set.normal();
-            any_crash = any_crash || set.has(Effect::SC);
-        }
-        Region region = Region::Safe;
-        if (any_crash)
-            region = Region::Crash;
-        else if (any_abnormal)
-            region = Region::Unsafe;
-        analysis.regions[voltage] = region;
-        analysis.severityByVoltage[voltage] =
-            severity(effect_sets, weights);
-
-        if (any_crash && voltage > analysis.highestCrashVoltage)
-            analysis.highestCrashVoltage = voltage;
-        if (any_abnormal && voltage > analysis.highestAbnormalVoltage)
-            analysis.highestAbnormalVoltage = voltage;
-    }
-
-    // Safe Vmin: walk from the top; the first non-safe level bounds
-    // the safe region from below. Maps iterate ascending, so walk
-    // in reverse.
-    MilliVolt vmin = 0;
-    for (auto it = analysis.regions.rbegin();
-         it != analysis.regions.rend(); ++it) {
-        if (it->second != Region::Safe)
-            break;
-        vmin = it->first;
-    }
-    if (vmin == 0) {
-        // Even the highest measured voltage was abnormal; report the
-        // level just above it as the (censored) Vmin.
-        vmin = analysis.regions.rbegin()->first;
-        util::warnf("analyzeRegions: ", workload_id, " core ", core,
-                    " abnormal at the top of the sweep; Vmin is "
-                    "censored at ",
-                    vmin, " mV");
-    }
-    analysis.vmin = vmin;
-    return analysis;
+    return *analysis;
 }
 
 } // namespace vmargin

@@ -2,7 +2,6 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -18,34 +17,6 @@ namespace
 {
 
 constexpr const char *kMagic = "# vmargin-report";
-constexpr const char *kJournalMagic = "# vmargin-journal";
-constexpr const char *kCellMarker = "CELL ";
-constexpr const char *kEndCellMarker = "ENDCELL ";
-
-/** Parse "key=value key=value ..." tokens from a marker line. */
-std::map<std::string, std::string>
-parseFields(const std::string &line)
-{
-    std::map<std::string, std::string> fields;
-    for (const auto &token : util::split(line, ' ')) {
-        const auto eq = token.find('=');
-        if (eq == std::string::npos)
-            continue;
-        fields[token.substr(0, eq)] = token.substr(eq + 1);
-    }
-    return fields;
-}
-
-uint64_t
-fieldUint(const std::map<std::string, std::string> &fields,
-          const char *key)
-{
-    const auto it = fields.find(key);
-    if (it == fields.end())
-        return 0;
-    return static_cast<uint64_t>(
-        std::strtoull(it->second.c_str(), nullptr, 10));
-}
 
 } // namespace
 
@@ -145,6 +116,11 @@ deserializeReport(const std::string &text,
     const size_t col_ce_sites = column("ce_sites");
     const size_t col_ue_sites = column("ue_sites");
 
+    // One pass: every row lands in allRuns and streams into the
+    // LedgerView, which derives all per-cell analyses (regions,
+    // severity, Vmin) without re-walking the rows per cell.
+    LedgerView view(weights);
+    report.allRuns.reserve(doc.rows.size());
     for (const auto &row : doc.rows) {
         ClassifiedRun run;
         run.key.workloadId = row.at(col_workload);
@@ -176,30 +152,13 @@ deserializeReport(const std::string &text,
             decodeSiteCounts(row.at(col_ce_sites));
         run.uncorrectedBySite =
             decodeSiteCounts(row.at(col_ue_sites));
+        view.add(run);
         report.allRuns.push_back(std::move(run));
     }
     report.totalRuns = report.allRuns.size();
-
-    // Rebuild the per-cell region analyses. Preserve first-seen
-    // order of the cells for stable output.
-    std::vector<std::pair<std::string, CoreId>> cell_keys;
-    std::map<std::pair<std::string, CoreId>, bool> seen;
-    for (const auto &run : report.allRuns) {
-        const auto key =
-            std::make_pair(run.key.workloadId, run.key.core);
-        if (!seen[key]) {
-            seen[key] = true;
-            cell_keys.push_back(key);
-        }
-    }
-    for (const auto &[workload_id, core] : cell_keys) {
-        CellResult cell;
-        cell.workloadId = workload_id;
-        cell.core = core;
-        cell.analysis = analyzeRegions(report.allRuns, workload_id,
-                                       core, weights);
-        report.cells.push_back(std::move(cell));
-    }
+    // Cells come out in first-seen order — the view preserves the
+    // stream order, which is the report's canonical cell order.
+    report.cells = view.cellResults();
     return report;
 }
 
@@ -297,7 +256,7 @@ journalHeaderFor(const FrameworkConfig &config,
     hash = mixMeasurementKnobs(hash, config, platform);
 
     std::ostringstream os;
-    os << kJournalMagic << " chip=" << platform.chip().name()
+    os << "vmargin-journal chip=" << platform.chip().name()
        << " corner=" << sim::cornerName(platform.chip().corner())
        << " freq=" << config.frequency << " config=" << std::hex
        << hash;
@@ -305,83 +264,16 @@ journalHeaderFor(const FrameworkConfig &config,
 }
 
 CampaignJournal::CampaignJournal(std::string path)
-    : path_(std::move(path))
+    : ledger_(std::move(path), "journal")
 {
-    if (path_.empty())
-        util::fatalError("journal: empty path");
 }
 
 void
 CampaignJournal::open(const std::string &header)
 {
-    header_ = header;
-    cells_.clear();
-
-    std::ifstream in(path_);
-    if (!in) {
-        // Fresh journal: create it with the binding header.
-        std::ofstream out(path_);
-        if (!out)
-            util::fatalError("journal: cannot create '" + path_ +
-                             "'");
-        out << header_ << '\n';
-        return;
-    }
-
-    std::string line;
-    if (!std::getline(in, line) || line != header_)
-        util::fatalError(
-            "journal: '" + path_ +
-            "' was recorded for a different experiment "
-            "(header mismatch); refusing to resume from it");
-
-    // Replay completed entries; a CELL without its ENDCELL is the
-    // truncated tail of a killed process and is re-run, not trusted.
-    bool in_cell = false;
-    CellMeasurement pending;
-    while (std::getline(in, line)) {
-        if (util::startsWith(line, kCellMarker)) {
-            const auto fields = parseFields(line);
-            pending = CellMeasurement{};
-            pending.workloadId = fields.count("workload")
-                                     ? fields.at("workload")
-                                     : std::string();
-            pending.core = static_cast<CoreId>(
-                fieldUint(fields, "core"));
-            in_cell = true;
-        } else if (util::startsWith(line, kEndCellMarker)) {
-            if (!in_cell)
-                continue; // stray terminator; ignore
-            const auto fields = parseFields(line);
-            if (fields.count("workload") &&
-                fields.at("workload") != pending.workloadId) {
-                in_cell = false;
-                continue; // corrupt pairing; discard the entry
-            }
-            pending.watchdogInterventions =
-                fieldUint(fields, "watchdog");
-            pending.telemetry.retries = fieldUint(fields, "retries");
-            pending.telemetry.backoffEvents =
-                fieldUint(fields, "backoff_events");
-            pending.telemetry.backoffUsTotal =
-                fieldUint(fields, "backoff_us");
-            pending.telemetry.watchdogRetries =
-                fieldUint(fields, "watchdog_retries");
-            pending.telemetry.lostMeasurements =
-                fieldUint(fields, "lost");
-            pending.runs = parseCampaignLog(pending.rawLog);
-            // Merge-on-resume: parallel sessions append in
-            // completion order and racing sessions can journal the
-            // same cell twice — keep the first intact occurrence,
-            // whatever position it landed at.
-            if (pending.runs.size() == fieldUint(fields, "runs") &&
-                !has(pending.workloadId, pending.core))
-                cells_.push_back(std::move(pending));
-            in_cell = false;
-        } else if (in_cell) {
-            pending.rawLog.push_back(line);
-        }
-    }
+    ledger_.open(header,
+                 "was recorded for a different experiment "
+                 "(header mismatch); refusing to resume from it");
 }
 
 bool
@@ -395,46 +287,19 @@ const CellMeasurement *
 CampaignJournal::find(const std::string &workload_id,
                       CoreId core) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &cell : cells_)
-        if (cell.workloadId == workload_id && cell.core == core)
-            return &cell;
-    return nullptr;
+    return ledger_.find(0, workload_id, core);
 }
 
 size_t
 CampaignJournal::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cells_.size();
+    return ledger_.size();
 }
 
 void
 CampaignJournal::append(const CellMeasurement &cell)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        util::fatalError("journal: cannot append to '" + path_ +
-                         "'");
-    out << kCellMarker << "core=" << cell.core
-        << " workload=" << cell.workloadId << '\n';
-    for (const auto &line : cell.rawLog)
-        out << line << '\n';
-    out << kEndCellMarker << "core=" << cell.core
-        << " workload=" << cell.workloadId
-        << " runs=" << cell.runs.size()
-        << " watchdog=" << cell.watchdogInterventions
-        << " retries=" << cell.telemetry.retries
-        << " backoff_events=" << cell.telemetry.backoffEvents
-        << " backoff_us=" << cell.telemetry.backoffUsTotal
-        << " watchdog_retries=" << cell.telemetry.watchdogRetries
-        << " lost=" << cell.telemetry.lostMeasurements << '\n';
-    out.flush();
-    if (!out)
-        util::fatalError("journal: write to '" + path_ +
-                         "' failed");
-    cells_.push_back(cell);
+    ledger_.append(0, cell);
 }
 
 } // namespace vmargin

@@ -15,11 +15,11 @@
 #ifndef VMARGIN_CORE_RESULTSTORE_HH
 #define VMARGIN_CORE_RESULTSTORE_HH
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "framework.hh"
+#include "ledger.hh"
 
 namespace vmargin
 {
@@ -75,19 +75,21 @@ Seed cellConfigHash(const FrameworkConfig &config,
  * Write-ahead journal of completed (workload, core) cells.
  *
  * The paper's campaigns ran for six months; ours must likewise
- * survive being killed mid-sweep. Each finished cell is appended to
- * the journal as its raw campaign log plus the recovery counters,
- * and flushed immediately. On open, completed entries are loaded
- * (reparsing the raw logs through the normal parsing phase) and a
- * truncated tail — the cell a killed process was writing — is
- * discarded, so the framework re-runs exactly the unfinished cells.
+ * survive being killed mid-sweep. A thin view over a RunLedger: the
+ * binding header (journalHeaderFor) ties one file to one exact
+ * experiment, every finished cell is appended as run records plus a
+ * commit frame and flushed immediately, and on open the committed
+ * cells are loaded while a truncated tail — the cell a killed
+ * process was writing — is discarded, so the framework re-runs
+ * exactly the unfinished cells.
  *
  * The parallel campaign executor appends from its worker threads in
- * completion order, so append() is mutex-guarded and the on-disk
- * cell order is *not* canonical: resume merges entries regardless of
- * order (first occurrence of a cell wins, duplicates from racing
- * sessions are dropped) and the framework re-establishes canonical
- * order when it assembles the report.
+ * completion order, so append() is mutex-guarded (inside the
+ * ledger) and the on-disk cell order is *not* canonical: resume
+ * merges entries regardless of order (first occurrence of a cell
+ * wins, duplicates from racing sessions are dropped) and the
+ * framework re-establishes canonical order when it assembles the
+ * report.
  */
 class CampaignJournal
 {
@@ -96,9 +98,9 @@ class CampaignJournal
 
     /**
      * Bind to @p header: a fresh file gets it written, an existing
-     * file must start with it (fatal otherwise — the journal
-     * belongs to a different experiment), and its completed entries
-     * are loaded. Not thread-safe; open before workers start.
+     * file must carry it (fatal otherwise — the journal belongs to
+     * a different experiment), and its completed entries are
+     * loaded. Not thread-safe; open before workers start.
      */
     void open(const std::string &header);
 
@@ -120,13 +122,17 @@ class CampaignJournal
     /** Number of completed cells on record. */
     size_t size() const;
 
-    const std::string &path() const { return path_; }
+    /** Loaded cells in on-disk (completion) order; invalidated by
+     *  the next append(). */
+    const std::vector<RunLedger::Entry> &entries() const
+    {
+        return ledger_.entries();
+    }
+
+    const std::string &path() const { return ledger_.path(); }
 
   private:
-    std::string path_;
-    std::string header_;
-    mutable std::mutex mutex_; ///< guards cells_ and the file tail
-    std::vector<CellMeasurement> cells_;
+    RunLedger ledger_;
 };
 
 } // namespace vmargin

@@ -64,6 +64,14 @@ CsvWriter::writeHeader(const std::vector<std::string> &columns)
 void
 CsvWriter::writeRow(const std::vector<std::string> &fields)
 {
+    if (fields.size() == 1 && fields.front().empty()) {
+        // A single empty field would serialize as a bare newline,
+        // which parsers (ours included, per RFC 4180's blank-line
+        // rule) drop as an empty row. Quote it to keep the row.
+        out_ << "\"\"\n";
+        ++rowsWritten_;
+        return;
+    }
     for (size_t i = 0; i < fields.size(); ++i) {
         if (i)
             out_ << sep_;

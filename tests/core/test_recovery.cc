@@ -299,12 +299,18 @@ TEST(Journal, TruncatedTailIsRerun)
         ASSERT_FALSE(partial.complete);
     }
 
-    // Simulate a kill mid-append: a CELL block with no ENDCELL.
+    // Simulate a kill mid-append: half of a run frame with no
+    // commit behind it — the ledger must discard the tail.
     {
-        std::ofstream out(path, std::ios::app);
-        out << "CELL core=4 workload=leslie3d/ref\n";
-        out << "RUN workload=leslie3d/ref core=4 voltage=930 "
-               "frequency=2400 campaign=0 run=0\n";
+        RunRecord run;
+        run.key.workloadId = "leslie3d/ref";
+        run.key.core = 4;
+        run.key.voltage = 930;
+        std::string frame;
+        appendFrame(frame, encodeRunRecord(run));
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << frame.substr(0, frame.size() / 2);
     }
 
     sim::Platform p = machine(13);
@@ -348,7 +354,7 @@ TEST(FrameworkConfigDeath, RejectsNegativeCellBudget)
     FrameworkConfig config = smallConfig();
     config.cellBudget = -1;
     EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "cellBudget");
+                "cell_budget");
 }
 
 } // namespace

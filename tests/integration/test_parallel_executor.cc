@@ -11,16 +11,14 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/executor.hh"
 #include "core/framework.hh"
+#include "core/ledger.hh"
 #include "core/resultstore.hh"
 #include "util/config.hh"
-#include "util/strings.hh"
 #include "workloads/spec.hh"
 
 namespace vmargin
@@ -67,33 +65,42 @@ sweep(int workers, const std::string &journal_path = "")
     return framework.characterize(config);
 }
 
-/** Journal text with its CELL..ENDCELL blocks in canonical
- *  (workload, core) order; the header line stays first. */
+/** Journal contents re-framed with cells in canonical (workload,
+ *  core) order — on-disk order is completion order, the one artifact
+ *  allowed to vary between worker counts. */
 std::string
 canonicalizeJournal(const std::string &path)
 {
-    std::ifstream in(path);
-    EXPECT_TRUE(in.good()) << path;
-    std::string line;
-    EXPECT_TRUE(std::getline(in, line));
-    const std::string header = line;
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           7);
+    platform.installFaultPlan(hostilePlan());
+    CampaignJournal journal(path);
+    journal.open(journalHeaderFor(sweepConfig(), platform));
+    EXPECT_EQ(journal.size(), 8u) << "every cell must be committed";
 
-    std::vector<std::string> blocks;
-    std::string block;
-    while (std::getline(in, line)) {
-        block += line;
-        block += '\n';
-        if (util::startsWith(line, "ENDCELL ")) {
-            blocks.push_back(block);
-            block.clear();
-        }
+    auto entries = journal.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const RunLedger::Entry &a, const RunLedger::Entry &b) {
+                  if (a.cell.workloadId != b.cell.workloadId)
+                      return a.cell.workloadId < b.cell.workloadId;
+                  return a.cell.core < b.cell.core;
+              });
+
+    std::string out;
+    for (const auto &entry : entries) {
+        for (const auto &run : entry.cell.runs)
+            appendFrame(out, encodeRunRecord(run));
+        CellCommit commit;
+        commit.configHash = entry.configHash;
+        commit.workloadId = entry.cell.workloadId;
+        commit.core = entry.cell.core;
+        commit.runCount =
+            static_cast<uint32_t>(entry.cell.runs.size());
+        commit.watchdogInterventions =
+            entry.cell.watchdogInterventions;
+        commit.telemetry = entry.cell.telemetry;
+        appendFrame(out, encodeCellCommit(commit));
     }
-    EXPECT_TRUE(block.empty()) << "truncated trailing cell";
-    std::sort(blocks.begin(), blocks.end());
-
-    std::string out = header + '\n';
-    for (const auto &b : blocks)
-        out += b;
     return out;
 }
 

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/csv.hh"
 
@@ -120,6 +122,92 @@ TEST(ParseCsv, NoTrailingNewline)
     const CsvDocument doc = parseCsv("a,b\n1,2");
     ASSERT_EQ(doc.rows.size(), 1u);
     EXPECT_EQ(doc.at(0, "b"), "2");
+}
+
+TEST(CsvRoundTrip, SingleEmptyFieldRowSurvives)
+{
+    // Regression: a row of exactly one empty field used to emit a
+    // bare newline, which the parser dropped as a blank line.
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"only"});
+    writer.writeRow({""});
+    writer.writeRow({"x"});
+    EXPECT_EQ(os.str(), "only\n\"\"\nx\n");
+
+    const CsvDocument doc = parseCsv(os.str());
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.at(0, "only"), "");
+    EXPECT_EQ(doc.at(1, "only"), "x");
+}
+
+TEST(CsvRoundTrip, EmptyEdgeFieldsSurvive)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"a", "b", "c"});
+    writer.writeRow({"", "mid", ""});
+    writer.writeRow({"", "", ""});
+
+    const CsvDocument doc = parseCsv(os.str());
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.at(0, "a"), "");
+    EXPECT_EQ(doc.at(0, "b"), "mid");
+    EXPECT_EQ(doc.at(0, "c"), "");
+    EXPECT_EQ(doc.at(1, "a"), "");
+    EXPECT_EQ(doc.at(1, "c"), "");
+}
+
+TEST(CsvRoundTrip, HostileFieldsExhaustive)
+{
+    // Every pairing of the characters the quoting rules exist for:
+    // separator, quote, newline, carriage return, and mixtures.
+    const std::vector<std::string> hostile = {
+        "",          "plain",       ",",       "\"",
+        "\n",        "\r\n",        "a,b",     "say \"hi\"",
+        "line1\nline2", "\"quoted\"", ",lead",  "trail,",
+        "\"\"",      "a\r\nb,c\"d", " spaced ", "5,\"6\"\n7",
+    };
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"left", "right"});
+    size_t expected_rows = 0;
+    for (const auto &left : hostile)
+        for (const auto &right : hostile) {
+            writer.writeRow({left, right});
+            ++expected_rows;
+        }
+
+    const CsvDocument doc = parseCsv(os.str());
+    ASSERT_EQ(doc.rows.size(), expected_rows);
+    size_t row = 0;
+    for (const auto &left : hostile)
+        for (const auto &right : hostile) {
+            EXPECT_EQ(doc.at(row, "left"), left)
+                << "row " << row;
+            EXPECT_EQ(doc.at(row, "right"), right)
+                << "row " << row;
+            ++row;
+        }
+}
+
+TEST(CsvRoundTrip, SingleHostileColumn)
+{
+    // One-column documents exercise the bare-newline edge cases the
+    // multi-column round trip can't reach.
+    const std::vector<std::string> hostile = {
+        "", "a", "\n", ",", "\"\"", "b\nc", "",
+    };
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader({"only"});
+    for (const auto &value : hostile)
+        writer.writeRow({value});
+
+    const CsvDocument doc = parseCsv(os.str());
+    ASSERT_EQ(doc.rows.size(), hostile.size());
+    for (size_t i = 0; i < hostile.size(); ++i)
+        EXPECT_EQ(doc.at(i, "only"), hostile[i]) << "row " << i;
 }
 
 } // namespace
