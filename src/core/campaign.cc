@@ -143,12 +143,12 @@ CampaignRunner::run(const CampaignConfig &config)
     // of once per run.
     const Seed seed_base = campaignSeedBase(config);
 
-    // Pre-size the log vectors for the common case (formatRunLog
-    // emits 7 fixed lines plus a few EDAC_SITE lines per run) so the
-    // hot sweep loop appends without reallocating.
-    result.rawLog.reserve(sweep.size() *
-                          static_cast<size_t>(config.runsPerVoltage) *
-                          10);
+    // Pre-size the record vectors so the hot sweep loop appends
+    // without reallocating.
+    const size_t max_runs =
+        sweep.size() * static_cast<size_t>(config.runsPerVoltage);
+    result.records.reserve(max_runs);
+    result.runs.reserve(max_runs);
 
     int consecutive_crash_levels = 0;
 
@@ -191,13 +191,20 @@ CampaignRunner::run(const CampaignConfig &config)
             key.frequency = config.frequency;
             key.campaign = config.campaignIndex;
             key.runIndex = static_cast<uint32_t>(r);
-            const auto log_lines = formatRunLog(key, run);
-            result.rawLog.insert(result.rawLog.end(),
-                                 log_lines.begin(), log_lines.end());
+            // Classify straight from the simulator's result; the
+            // text log is derived later only if someone asks for it
+            // (equivalence with the format->parse path is pinned by
+            // the classifier round-trip tests).
+            result.runs.push_back(classifyRunRecord(key, run));
+            result.records.push_back({std::move(key), run});
             any_executed = true;
             all_crashed_here = all_crashed_here && run.systemCrashed;
         }
-        result.lowestVoltageReached = voltage;
+        // A level counts as reached only if a run executed there; a
+        // level whose every run was lost to the management plane was
+        // never actually characterized.
+        if (any_executed)
+            result.lowestVoltageReached = voltage;
 
         if (any_executed && all_crashed_here) {
             if (++consecutive_crash_levels >=
@@ -215,7 +222,9 @@ CampaignRunner::run(const CampaignConfig &config)
         managed_.setPmdFrequency(p, params.maxFrequency);
 
     // ---- parsing phase ------------------------------------------
-    result.runs = parseCampaignLog(result.rawLog);
+    // (folded into the execution loop: each run was classified
+    // directly from its RunResult as it finished, so there is no
+    // campaign-wide format-then-reparse pass anymore.)
     result.watchdogInterventions =
         watchdog_.interventions() - interventions_before;
     result.telemetry = managed_.telemetry().since(telemetry_before);

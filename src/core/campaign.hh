@@ -63,8 +63,17 @@ struct CampaignResult
 {
     CampaignConfig config;
     std::vector<ClassifiedRun> runs;
-    std::vector<std::string> rawLog; ///< the stored "log files"
+
+    /** Zero-copy run records (identity + full simulator result).
+     *  The classified rows in `runs` are built directly from these;
+     *  the legacy text log is derived on demand via rawLog(). */
+    std::vector<RunLogRecord> records;
+
     uint64_t watchdogInterventions = 0;
+
+    /** Deepest voltage level at which at least one run actually
+     *  executed; 0 when the campaign never got a run off the ground
+     *  (e.g. the management plane swallowed every transaction). */
     MilliVolt lowestVoltageReached = 0;
 
     /** Runs whose operating point could not be established within
@@ -74,6 +83,14 @@ struct CampaignResult
     /** Recovery counters for this campaign (lostMeasurements filled
      *  from lostRuns). */
     RecoveryTelemetry telemetry;
+
+    /** The stored "log files", rendered lazily from `records`. Only
+     *  callers that genuinely want the text form (debug dumps, the
+     *  round-trip tests) pay for the formatting. */
+    std::vector<std::string> rawLog() const
+    {
+        return formatCampaignLog(records);
+    }
 };
 
 /** Executes campaigns against a platform. */

@@ -1,6 +1,7 @@
 #include "classifier.hh"
 
 #include <cstdlib>
+#include <iterator>
 #include <map>
 
 #include "util/logging.hh"
@@ -162,6 +163,69 @@ parseRunLog(const std::vector<std::string> &lines)
     if (run.uncorrectedErrors > 0)
         run.effects.add(Effect::UE);
     return run;
+}
+
+namespace
+{
+
+/** Quantize @p value exactly as a trip through the text log would:
+ *  render at the log's fixed precision, then re-parse. */
+double
+throughLogPrecision(double value, int precision)
+{
+    const std::string text = util::formatDouble(value, precision);
+    return std::strtod(text.c_str(), nullptr);
+}
+
+} // namespace
+
+ClassifiedRun
+classifyRunRecord(const RunKey &key, const sim::RunResult &run)
+{
+    ClassifiedRun out;
+    out.key = key;
+    out.exitCode = run.exitCode;
+    out.sdcEvents = run.sdcEvents;
+    out.correctedErrors = run.correctedErrors;
+    out.uncorrectedErrors = run.uncorrectedErrors;
+    out.seconds = throughLogPrecision(run.simulatedSeconds, 6);
+    out.avgIpc = throughLogPrecision(run.avgIpc, 4);
+    out.activityFactor =
+        throughLogPrecision(run.activityFactor, 4);
+
+    for (const auto &record : run.errors) {
+        const std::string site = sim::errorSiteName(record.site);
+        if (sim::errorKindName(record.kind) == "CE")
+            out.correctedBySite[site] += record.count;
+        else
+            out.uncorrectedBySite[site] += record.count;
+    }
+
+    if (run.systemCrashed)
+        out.effects.add(Effect::SC);
+    if (!run.systemCrashed && run.exitCode != 0)
+        out.effects.add(Effect::AC);
+    if (run.completed && !run.outputMatches)
+        out.effects.add(Effect::SDC);
+    if (run.correctedErrors > 0)
+        out.effects.add(Effect::CE);
+    if (run.uncorrectedErrors > 0)
+        out.effects.add(Effect::UE);
+    return out;
+}
+
+std::vector<std::string>
+formatCampaignLog(const std::vector<RunLogRecord> &records)
+{
+    std::vector<std::string> lines;
+    lines.reserve(records.size() * 8);
+    for (const auto &record : records) {
+        auto run_lines = formatRunLog(record.key, record.run);
+        lines.insert(lines.end(),
+                     std::make_move_iterator(run_lines.begin()),
+                     std::make_move_iterator(run_lines.end()));
+    }
+    return lines;
 }
 
 std::vector<ClassifiedRun>

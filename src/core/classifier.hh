@@ -35,6 +35,8 @@ struct RunKey
     MegaHertz frequency = 2400;
     uint32_t campaign = 0; ///< campaign repetition index
     uint32_t runIndex = 0; ///< run within (campaign, voltage)
+
+    bool operator==(const RunKey &other) const = default;
 };
 
 /** One run after the parsing phase. */
@@ -56,6 +58,20 @@ struct ClassifiedRun
 
     /** Uncorrected-error counts by detection site. */
     std::map<std::string, uint64_t> uncorrectedBySite;
+
+    bool operator==(const ClassifiedRun &other) const = default;
+};
+
+/**
+ * One run's identity plus everything the simulator observed — the
+ * zero-copy record the campaign stores in place of pre-rendered log
+ * text. The legacy text log is derived from these on demand
+ * (formatRunLog), never on the hot path.
+ */
+struct RunLogRecord
+{
+    RunKey key;
+    sim::RunResult run;
 };
 
 /** Render the log lines the execution phase stores for one run. */
@@ -75,6 +91,24 @@ ClassifiedRun parseRunLog(const std::vector<std::string> &lines);
  */
 std::vector<ClassifiedRun>
 parseCampaignLog(const std::vector<std::string> &lines);
+
+/**
+ * Classify a run directly from the simulator's result, bypassing the
+ * format-then-reparse round trip of the text-log pipeline. The
+ * contract — enforced by tests/core/test_classifier's equivalence
+ * suite — is exact equality with
+ * `parseRunLog(formatRunLog(key, run))` for every effect class,
+ * including the precision-limited doubles of the TIME line (they are
+ * quantized through the same fixed-precision rendering the log
+ * format uses).
+ */
+ClassifiedRun classifyRunRecord(const RunKey &key,
+                                const sim::RunResult &run);
+
+/** Render the legacy text log of a whole record stream (the lazy
+ *  raw-log view: formatRunLog over every record, concatenated). */
+std::vector<std::string>
+formatCampaignLog(const std::vector<RunLogRecord> &records);
 
 /** Encode a site-count map as "L2Cache:9;L3Cache:2" (empty -> ""). */
 std::string encodeSiteCounts(const std::map<std::string, uint64_t> &sites);

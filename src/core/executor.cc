@@ -56,14 +56,15 @@ measureCellWith(CampaignRunner &runner,
             // so one reservation covers the whole loop.
             cell.runs.reserve(result.runs.size() *
                               static_cast<size_t>(config.campaigns));
-            cell.rawLog.reserve(
-                result.rawLog.size() *
+            cell.records.reserve(
+                result.records.size() *
                 static_cast<size_t>(config.campaigns));
         }
         cell.runs.insert(cell.runs.end(), result.runs.begin(),
                          result.runs.end());
-        cell.rawLog.insert(cell.rawLog.end(), result.rawLog.begin(),
-                           result.rawLog.end());
+        cell.records.insert(cell.records.end(),
+                            result.records.begin(),
+                            result.records.end());
         cell.watchdogInterventions += result.watchdogInterventions;
         cell.telemetry.merge(result.telemetry);
     }

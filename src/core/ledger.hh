@@ -54,20 +54,27 @@ namespace vmargin
 
 /**
  * One (workload, core) cell's complete measurement: the classified
- * runs of all campaign repetitions plus the raw log lines and the
- * recovery/watchdog record that produced them. This is the unit the
- * ledger commits and replays. Raw log lines exist only for freshly
- * measured cells — the ledger persists the classified records, not
- * the logs they were parsed from.
+ * runs of all campaign repetitions plus the zero-copy run records
+ * and the recovery/watchdog record that produced them. This is the
+ * unit the ledger commits and replays. Run records exist only for
+ * freshly measured cells — the ledger persists the classified
+ * records, not the raw results they were built from; the legacy
+ * text log is rendered on demand by rawLog().
  */
 struct CellMeasurement
 {
     std::string workloadId;
     CoreId core = 0;
     std::vector<ClassifiedRun> runs;
-    std::vector<std::string> rawLog;
+    std::vector<RunLogRecord> records;
     uint64_t watchdogInterventions = 0;
     RecoveryTelemetry telemetry;
+
+    /** Legacy text-log view, rendered lazily from `records`. */
+    std::vector<std::string> rawLog() const
+    {
+        return formatCampaignLog(records);
+    }
 };
 
 /** Result cell for one (workload, core) pair. */

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace vmargin::sim
@@ -41,94 +43,56 @@ Cache::Cache(std::string name, int size_kb, int assoc, int line_bytes,
         panicf("Cache ", name_, ": set count ", sets_,
                " must be a non-zero power of two");
     lineShift_ = log2OfPow2(line_bytes);
-    ways_.resize(sets_ * static_cast<size_t>(assoc_));
-}
-
-size_t
-Cache::setIndex(uint64_t addr) const
-{
-    return (addr >> lineShift_) & (sets_ - 1);
-}
-
-uint64_t
-Cache::tagOf(uint64_t addr) const
-{
-    return addr >> lineShift_;
-}
-
-AccessResult
-Cache::access(uint64_t addr, bool is_write)
-{
-    ++useClock_;
-    ++stats_.accesses;
-    if (is_write)
-        ++stats_.writes;
-    else
-        ++stats_.reads;
-
-    const size_t set = setIndex(addr);
-    const uint64_t tag = tagOf(addr);
-    Way *base = &ways_[set * static_cast<size_t>(assoc_)];
-
-    AccessResult result;
-    Way *victim = base;
-    for (int w = 0; w < assoc_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            ++stats_.hits;
-            way.lastUse = useClock_;
-            way.dirty = way.dirty || is_write;
-            result.hit = true;
-            return result;
-        }
-        // Track the eviction candidate: any invalid way wins,
-        // otherwise least recently used.
-        if (!victim->valid)
-            continue;
-        if (!way.valid || way.lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-
-    ++stats_.misses;
-    ++stats_.fills;
-    if (victim->valid && victim->dirty) {
-        ++stats_.writebacks;
-        result.evictedDirty = true;
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = useClock_;
-    victim->dirty = is_write;
-    return result;
+    const size_t lines = sets_ * static_cast<size_t>(assoc_);
+    // Only the key array needs a defined initial value (generation
+    // field 0 != gen_ marks every way invalid). The timestamp array
+    // is deliberately left uninitialized — an invalid way's
+    // timestamp/dirty word is never read before the way is filled —
+    // which keeps hierarchy construction cheap: platforms are built
+    // per worker and per cell, and zero-filling the 8 MB L3's
+    // arrays dominated that cost.
+    keys_.resize(lines, 0);
+    lastUse_.reset(new uint64_t[lines]);
 }
 
 bool
 Cache::contains(uint64_t addr) const
 {
-    const size_t set = setIndex(addr);
-    const uint64_t tag = tagOf(addr);
-    const Way *base = &ways_[set * static_cast<size_t>(assoc_)];
-    for (int w = 0; w < assoc_; ++w)
-        if (base[w].valid && base[w].tag == tag)
+    const size_t base =
+        setIndex(addr) * static_cast<size_t>(assoc_);
+    const uint64_t key = keyOf(tagOf(addr));
+    for (int w = 0; w < assoc_; ++w) {
+        if (keys_[base + static_cast<size_t>(w)] == key)
             return true;
+    }
     return false;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &way : ways_) {
-        way.valid = false;
-        way.dirty = false;
+    // Bumping the generation invalidates every way at once (stale
+    // generations read as invalid and not dirty, exactly like the
+    // old clear-every-way walk). When the generation field would
+    // overflow its bits of the packed key, fall back to one full
+    // clear and restart — semantics are identical, and the walk is
+    // amortized over ~16.7M cheap invalidations.
+    if (gen_ == kGenLimit) {
+        std::fill(keys_.begin(), keys_.end(), 0);
+        gen_ = 1;
+        return;
     }
+    ++gen_;
 }
 
 size_t
 Cache::validLines() const
 {
+    const uint64_t genField =
+        static_cast<uint64_t>(gen_) << kTagBits;
     size_t count = 0;
-    for (const auto &way : ways_)
-        if (way.valid)
+    for (const uint64_t key : keys_)
+        if ((key & ~kTagMask) == genField)
             ++count;
     return count;
 }

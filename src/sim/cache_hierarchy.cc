@@ -116,6 +116,72 @@ CacheHierarchy::dataAccess(CoreId core, uint64_t addr, bool is_write)
     return out;
 }
 
+DataBatchCounts
+CacheHierarchy::dataAccessBatch(CoreId core,
+                                const uint64_t *__restrict addrs,
+                                const uint8_t *__restrict is_write,
+                                uint32_t count)
+{
+    checkCore(core);
+    const uint64_t base = static_cast<uint64_t>(core) << 40;
+    Cache &l1 = *l1d_[static_cast<size_t>(core)];
+    Cache &l2c =
+        *l2_[static_cast<size_t>(params_.pmdOfCore(core))];
+    Cache &l3c = *l3_;
+
+    DataBatchCounts out;
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t global = addrs[i] + base;
+        const bool write = is_write[i] != 0;
+        const AccessResult l1r = l1.access(global, write);
+        if (l1r.hit)
+            continue;
+        ++out.l1Miss;
+        if (l1r.evictedDirty) {
+            ++out.writebacksFromL1;
+            l2c.access(global ^ 0x1000, true);
+        }
+        const AccessResult l2r = l2c.access(global, write);
+        if (l2r.hit)
+            continue;
+        ++out.l2Miss;
+        if (l2r.evictedDirty) {
+            ++out.writebacksFromL2;
+            l3c.access(global ^ 0x2000, true);
+        }
+        const AccessResult l3r = l3c.access(global, write);
+        out.l3Miss += l3r.hit ? 0 : 1;
+    }
+    return out;
+}
+
+InstrBatchCounts
+CacheHierarchy::instrFetchBatch(CoreId core,
+                                const uint64_t *__restrict addrs,
+                                uint32_t count)
+{
+    checkCore(core);
+    const uint64_t base =
+        (static_cast<uint64_t>(core) << 40) + (1ULL << 39);
+    Cache &l1 = *l1i_[static_cast<size_t>(core)];
+    Cache &l2c =
+        *l2_[static_cast<size_t>(params_.pmdOfCore(core))];
+    Cache &l3c = *l3_;
+
+    InstrBatchCounts out;
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t global = addrs[i] + base;
+        if (l1.access(global, false).hit)
+            continue;
+        ++out.l1Miss;
+        if (l2c.access(global, false).hit)
+            continue;
+        ++out.l2Miss;
+        l3c.access(global, false);
+    }
+    return out;
+}
+
 HierarchyAccess
 CacheHierarchy::instrFetch(CoreId core, uint64_t addr)
 {

@@ -27,6 +27,23 @@ struct HierarchyAccess
     bool writebackFromL2 = false;
 };
 
+/** Summed outcome of one batched data walk (dataAccessBatch). */
+struct DataBatchCounts
+{
+    uint64_t l1Miss = 0;
+    uint64_t writebacksFromL1 = 0;
+    uint64_t l2Miss = 0;
+    uint64_t writebacksFromL2 = 0;
+    uint64_t l3Miss = 0;
+};
+
+/** Summed outcome of one batched fetch walk (instrFetchBatch). */
+struct InstrBatchCounts
+{
+    uint64_t l1Miss = 0;
+    uint64_t l2Miss = 0;
+};
+
 /** All caches of one chip, wired per the X-Gene 2 topology. */
 class CacheHierarchy
 {
@@ -42,6 +59,25 @@ class CacheHierarchy
 
     /** Instruction fetch by @p core; walks L1I -> L2 -> L3. */
     HierarchyAccess instrFetch(CoreId core, uint64_t addr);
+
+    /**
+     * Walk @p count data accesses in one tight loop and return the
+     * summed per-level miss/writeback counts. Per-access behaviour
+     * (walk order, allocation, writeback side channels, statistics)
+     * is identical to @p count calls of dataAccess(); the batch form
+     * hoists the core check, the per-level cache lookups and the
+     * address-space base out of the loop — this is the hot path of
+     * every characterization run.
+     */
+    DataBatchCounts dataAccessBatch(CoreId core,
+                                    const uint64_t *addrs,
+                                    const uint8_t *is_write,
+                                    uint32_t count);
+
+    /** Batched instrFetch(); same contract as dataAccessBatch(). */
+    InstrBatchCounts instrFetchBatch(CoreId core,
+                                     const uint64_t *addrs,
+                                     uint32_t count);
 
     Cache &l1i(CoreId core);
     Cache &l1d(CoreId core);

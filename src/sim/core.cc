@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/scale.hh"
 
 namespace vmargin::sim
 {
@@ -97,6 +98,11 @@ Core::run(const wl::WorkloadProfile &workload, const OnsetSet &onsets,
 
     double prev_ipc = -1.0;
 
+    const uint32_t data_samples = config.dataSamplesPerEpoch;
+    const uint32_t instr_samples = config.instrSamplesPerEpoch;
+    writeScratch_.resize(data_samples);
+    addrScratch_.resize(std::max(data_samples, instr_samples));
+
     for (uint32_t epoch = 0; epoch < epochs; ++epoch) {
         const wl::EpochActivity act = generator.epoch(epoch);
         total_instr += act.instructions;
@@ -113,46 +119,48 @@ Core::run(const wl::WorkloadProfile &workload, const OnsetSet &onsets,
         prev_ipc = act.ipc();
 
         // ---- drive the caches with sampled streams --------------
-        uint64_t l1d_miss = 0, l1d_wb = 0, l2_miss = 0, l2_wb = 0;
-        uint64_t l3_miss = 0, l1i_miss = 0, l2i_miss = 0;
-        const uint32_t data_samples = config.dataSamplesPerEpoch;
-        for (uint32_t s = 0; s < data_samples; ++s) {
-            const bool is_write = fault_rng.bernoulli(store_frac);
-            const HierarchyAccess a = caches_->dataAccess(
-                id_, data_stream.next(), is_write);
-            l1d_miss += a.l1Miss;
-            l1d_wb += a.writebackFromL1;
-            l2_miss += a.l2Miss;
-            l2_wb += a.writebackFromL2;
-            l3_miss += a.l3Miss;
-        }
-        for (uint32_t s = 0; s < config.instrSamplesPerEpoch; ++s) {
-            const HierarchyAccess a =
-                caches_->instrFetch(id_, instr_stream.next());
-            l1i_miss += a.l1Miss;
-            l2i_miss += a.l2Miss;
-        }
+        // The write-intent draws and the address draws come from
+        // independent RNG streams, so drawing each stream into its
+        // scratch buffer up front yields exactly the per-stream
+        // sequences of the old interleaved loop — and lets the
+        // hierarchy walk the whole sample array in one batch.
+        for (uint32_t s = 0; s < data_samples; ++s)
+            writeScratch_[s] =
+                fault_rng.bernoulli(store_frac) ? 1 : 0;
+        for (uint32_t s = 0; s < data_samples; ++s)
+            addrScratch_[s] = data_stream.next();
+        const DataBatchCounts data = caches_->dataAccessBatch(
+            id_, addrScratch_.data(), writeScratch_.data(),
+            data_samples);
+        for (uint32_t s = 0; s < instr_samples; ++s)
+            addrScratch_[s] = instr_stream.next();
+        const InstrBatchCounts instr = caches_->instrFetchBatch(
+            id_, addrScratch_.data(), instr_samples);
+
         // Scale sampled miss counts up to the epoch's true traffic.
         const double mem_ops =
             static_cast<double>(act.loads + act.stores);
         const double dscale =
             data_samples ? mem_ops / data_samples : 0.0;
         const double iscale =
-            config.instrSamplesPerEpoch
+            instr_samples
                 ? static_cast<double>(act.instructions) / 4.0 /
-                      config.instrSamplesPerEpoch
+                      instr_samples
                 : 0.0;
-        auto up = [](uint64_t n, double f) {
-            return static_cast<uint64_t>(
-                std::llround(static_cast<double>(n) * f));
-        };
-        l1d_miss = up(l1d_miss, dscale);
-        l1d_wb = up(l1d_wb, dscale);
-        l2_miss = up(l2_miss, dscale);
-        l2_wb = up(l2_wb, dscale);
-        l3_miss = up(l3_miss, dscale);
-        l1i_miss = up(l1i_miss, iscale);
-        l2i_miss = up(l2i_miss, iscale);
+        const uint64_t l1d_miss =
+            util::scaleCount(data.l1Miss, dscale);
+        const uint64_t l1d_wb =
+            util::scaleCount(data.writebacksFromL1, dscale);
+        const uint64_t l2_miss =
+            util::scaleCount(data.l2Miss, dscale);
+        const uint64_t l2_wb =
+            util::scaleCount(data.writebacksFromL2, dscale);
+        const uint64_t l3_miss =
+            util::scaleCount(data.l3Miss, dscale);
+        const uint64_t l1i_miss =
+            util::scaleCount(instr.l1Miss, iscale);
+        const uint64_t l2i_miss =
+            util::scaleCount(instr.l2Miss, iscale);
 
         updatePmu(act, workload, l1d_miss, l1d_wb, l2_miss, l2_wb,
                   l3_miss, l1i_miss, l2i_miss);
@@ -279,10 +287,15 @@ Core::updatePmu(const wl::EpochActivity &act,
                 uint64_t l2i_misses)
 {
     using E = PmuEvent;
-    auto add = [this](E e, uint64_t n) { pmu_.add(e, n); };
+    // Derived counters land in a local flat array and fold into the
+    // PMU in one accumulate pass — one bounds check per epoch
+    // instead of one per event.
+    PmuSnapshot acc{};
+    auto add = [&acc](E e, uint64_t n) {
+        acc[static_cast<size_t>(e)] += n;
+    };
     auto frac = [](uint64_t n, double f) {
-        return static_cast<uint64_t>(
-            std::llround(static_cast<double>(n) * f));
+        return util::scaleCount(n, f);
     };
 
     const uint64_t mem = act.loads + act.stores;
@@ -418,6 +431,8 @@ Core::updatePmu(const wl::EpochActivity &act,
     add(E::BUS_ACCESS_RD, l3_misses);
     add(E::BUS_ACCESS_WR, frac(l3_misses, 0.4));
     add(E::BUS_CYCLES, act.cycles / 2);
+
+    pmu_.accumulate(acc);
 }
 
 } // namespace vmargin::sim

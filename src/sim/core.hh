@@ -138,6 +138,13 @@ class Core
     XGene2Params params_;
     CacheHierarchy *caches_;
     Pmu pmu_;
+
+    /** Per-epoch scratch buffers for the batched kernel: each RNG
+     *  stream is drawn into its buffer up front (preserving the
+     *  per-stream sequences), then the caches walk the whole sample
+     *  array in one batch. Reused across epochs and runs. */
+    std::vector<uint8_t> writeScratch_;
+    std::vector<uint64_t> addrScratch_;
 };
 
 } // namespace vmargin::sim

@@ -113,6 +113,18 @@ class Pmu
     /** Add @p count occurrences of @p event. */
     void add(PmuEvent event, uint64_t count);
 
+    /**
+     * Fold a whole snapshot of per-event deltas in, one flat pass
+     * over the counter array. The hot per-epoch PMU update builds
+     * its ~90 derived counters in a local flat array and lands them
+     * here in a single call instead of ~90 bounds-checked add()s.
+     */
+    void accumulate(const PmuSnapshot &delta)
+    {
+        for (size_t i = 0; i < kNumPmuEvents; ++i)
+            counters_[i] += delta[i];
+    }
+
     /** Current value of @p event. */
     uint64_t value(PmuEvent event) const;
 

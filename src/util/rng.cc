@@ -40,17 +40,6 @@ hashSeed(const std::string &text)
     return mixSeed(h, text.size());
 }
 
-namespace
-{
-
-inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(Seed seed)
 {
     uint64_t state = seed;
@@ -61,49 +50,10 @@ Rng::Rng(Seed seed)
         s_[0] = 0x9e3779b97f4a7c15ULL;
 }
 
-uint64_t
-Rng::next()
+void
+Rng::panicEmptyRange(int64_t lo, int64_t hi)
 {
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 random mantissa bits -> uniform in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-int64_t
-Rng::uniformInt(int64_t lo, int64_t hi)
-{
-    if (lo > hi)
-        panicf("uniformInt: empty range [", lo, ", ", hi, "]");
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-    if (span == 0) // full 64-bit range
-        return static_cast<int64_t>(next());
-    // Rejection sampling to avoid modulo bias.
-    const uint64_t limit = (~0ULL / span) * span;
-    uint64_t value = next();
-    while (value >= limit)
-        value = next();
-    return lo + static_cast<int64_t>(value % span);
+    panicf("uniformInt: empty range [", lo, ", ", hi, "]");
 }
 
 double
@@ -128,13 +78,6 @@ double
 Rng::gaussian(double mean, double stddev)
 {
     return mean + stddev * gaussian();
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    const double clamped = std::clamp(p, 0.0, 1.0);
-    return uniform() < clamped;
 }
 
 uint64_t

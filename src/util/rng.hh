@@ -49,6 +49,11 @@ class Rng
     /** Construct from a single seed, expanded via SplitMix64. */
     explicit Rng(Seed seed);
 
+    // next/uniform/uniformInt/bernoulli are defined inline below the
+    // class: they are drawn millions of times per characterization
+    // sweep (every sampled address and every fault trial) and must
+    // inline into the kernel's batch loops.
+
     /** Next raw 64-bit value. */
     uint64_t next();
 
@@ -94,10 +99,71 @@ class Rng
     result_type operator()() { return next(); }
 
   private:
+    /** Cold out-of-line panic keeping uniformInt's inline body
+     *  branch-light. */
+    [[noreturn]] static void panicEmptyRange(int64_t lo, int64_t hi);
+
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
     double cachedGauss_ = 0.0;
     bool hasCachedGauss_ = false;
 };
+
+inline uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+inline double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+inline double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+inline int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panicEmptyRange(lo, hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = (~0ULL / span) * span;
+    uint64_t value = next();
+    while (value >= limit)
+        value = next();
+    return lo + static_cast<int64_t>(value % span);
+}
+
+inline bool
+Rng::bernoulli(double p)
+{
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    return uniform() < clamped;
+}
 
 } // namespace vmargin::util
 

@@ -12,28 +12,11 @@ AddressStream::AddressStream(uint64_t working_set_bytes, double spatial,
                              double temporal, Seed seed)
     : workingSet_(std::max<uint64_t>(working_set_bytes, 4096)),
       hotBytes_(std::max<uint64_t>(workingSet_ / 10, 1024)),
-      spatial_(spatial), temporal_(temporal), rng_(seed)
+      spatial_(spatial), temporal_(temporal),
+      wsLimit_(~0ULL / workingSet_ * workingSet_),
+      hotLimit_(~0ULL / hotBytes_ * hotBytes_), rng_(seed)
 {
-    cursor_ = static_cast<uint64_t>(
-        rng_.uniformInt(0, static_cast<int64_t>(workingSet_ - 1)));
-}
-
-uint64_t
-AddressStream::next()
-{
-    if (rng_.bernoulli(spatial_)) {
-        // Sequential advance by one 8-byte word, wrapping at the
-        // working-set boundary.
-        cursor_ = (cursor_ + 8) % workingSet_;
-    } else if (rng_.bernoulli(temporal_)) {
-        // Jump back into the hot subset at the bottom of the range.
-        cursor_ = static_cast<uint64_t>(
-            rng_.uniformInt(0, static_cast<int64_t>(hotBytes_ - 1)));
-    } else {
-        cursor_ = static_cast<uint64_t>(
-            rng_.uniformInt(0, static_cast<int64_t>(workingSet_ - 1)));
-    }
-    return cursor_;
+    cursor_ = drawBelow(workingSet_, wsLimit_);
 }
 
 ActivityGenerator::ActivityGenerator(const WorkloadProfile &profile,

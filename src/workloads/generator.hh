@@ -65,17 +65,54 @@ class AddressStream
     AddressStream(uint64_t working_set_bytes, double spatial,
                   double temporal, Seed seed);
 
-    /** Next data address. */
+    /** Next data address. Defined inline below — it runs once per
+     *  sampled access inside the kernel's batch loops. */
     uint64_t next();
 
   private:
+    /**
+     * Draw uniformly from [0, span): the body of
+     * Rng::uniformInt(0, span - 1) with its rejection limit
+     * precomputed per stream, so the hot path pays no division for
+     * the limit. Consumes exactly the same next() values and yields
+     * exactly the same result as the generic helper.
+     */
+    uint64_t drawBelow(uint64_t span, uint64_t limit)
+    {
+        uint64_t value = rng_.next();
+        while (value >= limit)
+            value = rng_.next();
+        return value % span;
+    }
+
     uint64_t workingSet_;
     uint64_t hotBytes_;
     double spatial_;
     double temporal_;
+    uint64_t wsLimit_;  ///< rejection limit for span workingSet_
+    uint64_t hotLimit_; ///< rejection limit for span hotBytes_
     uint64_t cursor_ = 0;
     util::Rng rng_;
 };
+
+inline uint64_t
+AddressStream::next()
+{
+    if (rng_.bernoulli(spatial_)) {
+        // Sequential advance by one 8-byte word, wrapping at the
+        // working-set boundary. cursor_ < workingSet_ always holds,
+        // so the wrap is a compare instead of a modulo.
+        cursor_ += 8;
+        if (cursor_ >= workingSet_)
+            cursor_ -= workingSet_;
+    } else if (rng_.bernoulli(temporal_)) {
+        // Jump back into the hot subset at the bottom of the range.
+        cursor_ = drawBelow(hotBytes_, hotLimit_);
+    } else {
+        cursor_ = drawBelow(workingSet_, wsLimit_);
+    }
+    return cursor_;
+}
 
 /**
  * Per-epoch activity generator. Deterministic: epoch @p index of a

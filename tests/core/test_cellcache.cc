@@ -78,8 +78,8 @@ TEST(CellCache, PutFindRoundTripsAcrossReopen)
                   cell.runs[i].effects.toString());
         EXPECT_EQ(found->runs[i].avgIpc, cell.runs[i].avgIpc);
     }
-    EXPECT_TRUE(found->rawLog.empty())
-        << "the ledger persists classified records, not raw logs";
+    EXPECT_TRUE(found->records.empty())
+        << "the ledger persists classified records, not run records";
     EXPECT_EQ(found->telemetry.retries, cell.telemetry.retries);
     std::remove(path.c_str());
 }

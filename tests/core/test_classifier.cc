@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "core/classifier.hh"
+#include "sim/cache_hierarchy.hh"
+#include "util/rng.hh"
+#include "workloads/spec.hh"
 
 namespace vmargin
 {
@@ -164,6 +167,139 @@ TEST(Classifier, DeathOnMalformedSiteCounts)
 TEST(Classifier, DeathOnEmptyLog)
 {
     EXPECT_DEATH(parseRunLog({}), "empty log");
+}
+
+// ---- zero-copy equivalence ------------------------------------
+// The campaign now classifies runs directly from RunResult
+// (classifyRunRecord) instead of formatting a text log and reparsing
+// it. These tests pin the contract: for every effect class the
+// direct construction equals parse(format(x)) field for field —
+// including the doubles, which must pass through the log format's
+// fixed precision.
+
+void
+expectEquivalent(const RunKey &k, const sim::RunResult &run,
+                 const std::string &what)
+{
+    const ClassifiedRun direct = classifyRunRecord(k, run);
+    const ClassifiedRun round_trip =
+        parseRunLog(formatRunLog(k, run));
+    EXPECT_EQ(direct, round_trip) << what;
+}
+
+TEST(ClassifyRunRecord, CompletedRunMatchesRoundTrip)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = true;
+    // Awkward values that do NOT survive the log's fixed precision
+    // untouched — the direct path must quantize identically.
+    run.simulatedSeconds = 0.123456789;
+    run.avgIpc = 1.99995;
+    run.activityFactor = 1.0 / 3.0;
+    expectEquivalent(key(), run, "completed");
+}
+
+TEST(ClassifyRunRecord, SdcRunMatchesRoundTrip)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = false;
+    run.sdcEvents = 41;
+    run.simulatedSeconds = 2.5e-7; // rounds to 0.000000 in the log
+    expectEquivalent(key(), run, "sdc");
+}
+
+TEST(ClassifyRunRecord, EccSiteRunMatchesRoundTrip)
+{
+    sim::RunResult run;
+    run.completed = true;
+    run.outputMatches = true;
+    run.correctedErrors = 12;
+    run.uncorrectedErrors = 3;
+
+    sim::ErrorRecord ce_l2;
+    ce_l2.kind = sim::ErrorKind::Corrected;
+    ce_l2.site = sim::ErrorSite::L2Cache;
+    ce_l2.count = 7;
+    sim::ErrorRecord ce_l2_again = ce_l2; // same site aggregates
+    ce_l2_again.count = 5;
+    sim::ErrorRecord ue_l3;
+    ue_l3.kind = sim::ErrorKind::Uncorrected;
+    ue_l3.site = sim::ErrorSite::L3Cache;
+    ue_l3.count = 3;
+    run.errors = {ce_l2, ce_l2_again, ue_l3};
+    expectEquivalent(key(), run, "ecc-sites");
+}
+
+TEST(ClassifyRunRecord, ApplicationCrashMatchesRoundTrip)
+{
+    sim::RunResult run;
+    run.applicationCrashed = true;
+    run.exitCode = 139;
+    run.simulatedSeconds = 0.0421337;
+    expectEquivalent(key(), run, "app-crash");
+}
+
+TEST(ClassifyRunRecord, SystemCrashMatchesRoundTrip)
+{
+    sim::RunResult run;
+    run.systemCrashed = true;
+    run.exitCode = -1;
+    expectEquivalent(key(), run, "system-crash");
+}
+
+TEST(ClassifyRunRecord, RealKernelRunsMatchRoundTrip)
+{
+    // Sweep a real core across the fault regimes so the equivalence
+    // also holds for results the simulator actually produces (full
+    // counters, organic error records, precision-limited doubles).
+    sim::XGene2Params params;
+    sim::CacheHierarchy caches(params);
+    sim::Core core(0, params, &caches);
+
+    sim::OnsetSet onsets;
+    onsets.sdc = 900;
+    onsets.ce = 905;
+    onsets.ue = 885;
+    onsets.ac = 880;
+    onsets.sc = 870;
+
+    for (const MilliVolt v : {980, 910, 890, 875, 860}) {
+        sim::ExecutionConfig config;
+        config.voltage = v;
+        config.seed =
+            util::mixSeed(0xE9C1ULL, static_cast<uint64_t>(v));
+        config.maxEpochs = 12;
+        caches.invalidateAll();
+        const sim::RunResult run =
+            core.run(wl::findWorkload("bwaves/ref"), onsets, config);
+
+        RunKey k = key();
+        k.voltage = v;
+        expectEquivalent(k, run,
+                         "kernel run at " + std::to_string(v) +
+                             " mV");
+    }
+}
+
+TEST(Classifier, FormatCampaignLogConcatenatesRecords)
+{
+    sim::RunResult clean;
+    clean.completed = true;
+    clean.outputMatches = true;
+    sim::RunResult crashed;
+    crashed.systemCrashed = true;
+
+    RunKey second = key();
+    second.runIndex = 8;
+    std::vector<RunLogRecord> records = {{key(), clean},
+                                         {second, crashed}};
+
+    std::vector<std::string> expected = formatRunLog(key(), clean);
+    const auto more = formatRunLog(second, crashed);
+    expected.insert(expected.end(), more.begin(), more.end());
+    EXPECT_EQ(formatCampaignLog(records), expected);
 }
 
 TEST(Classifier, DeathOnCorruptLog)

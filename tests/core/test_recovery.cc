@@ -194,6 +194,33 @@ TEST(CampaignRecovery, TotalManagementFailureLosesRunsNotProcess)
     EXPECT_TRUE(p.responsive());
 }
 
+TEST(CampaignRecovery, LowestVoltageNotClaimedForFullyLostLevels)
+{
+    // Regression: lowestVoltageReached used to advance on every
+    // sweep level even when the management plane swallowed all of
+    // that level's runs — the campaign then claimed to have
+    // characterized voltages it never actually ran at.
+    sim::Platform p = machine();
+    sim::FaultPlanConfig plan;
+    plan.i2cWriteFailure = 1.0;
+    plan.seed = 7;
+    p.installFaultPlan(plan);
+
+    CampaignRunner runner(&p);
+    CampaignConfig config;
+    config.workload = wl::findWorkload("bwaves/ref");
+    config.core = 0;
+    config.startVoltage = 900;
+    config.endVoltage = 880;
+    config.maxEpochs = 8;
+
+    const CampaignResult result = runner.run(config);
+    EXPECT_TRUE(result.runs.empty());
+    EXPECT_FALSE(result.lostRuns.empty());
+    EXPECT_EQ(result.lowestVoltageReached, 0)
+        << "a level with zero executed runs was never reached";
+}
+
 TEST(CampaignRecovery, FullyLostCellsAreOmittedNotFatal)
 {
     // Even at 100% management failure the sweep itself must finish:

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the saturating scaled-count helper the simulation
+ * kernel uses for sampled-counter upscaling and PMU derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/scale.hh"
+
+namespace vmargin::util
+{
+namespace
+{
+
+TEST(ScaleCount, MatchesLlroundForInRangeProducts)
+{
+    const uint64_t counts[] = {0, 1, 2, 7, 127, 4096, 999999,
+                               1234567890123ULL};
+    const double factors[] = {0.0,  0.0004, 0.3,  0.5,  0.92,
+                              1.0,  1.15,   2.0,  13.7, 1e6};
+    for (const uint64_t n : counts)
+        for (const double f : factors) {
+            const double scaled = static_cast<double>(n) * f;
+            ASSERT_LT(scaled, 9.2e18); // all in llround's range
+            EXPECT_EQ(scaleCount(n, f),
+                      static_cast<uint64_t>(std::llround(scaled)))
+                << n << " * " << f;
+        }
+}
+
+TEST(ScaleCount, RoundsHalfAwayFromZero)
+{
+    EXPECT_EQ(scaleCount(5, 0.5), 3u);  // 2.5 -> 3
+    EXPECT_EQ(scaleCount(5, 0.3), 2u);  // 1.5 -> 2
+    EXPECT_EQ(scaleCount(1, 0.49), 0u); // 0.49 -> 0
+    EXPECT_EQ(scaleCount(1, 0.51), 1u);
+}
+
+TEST(ScaleCount, SaturatesAtUint64MaxInsteadOfOverflowing)
+{
+    // llround would be undefined for every one of these.
+    EXPECT_EQ(scaleCount(UINT64_MAX, 2.0), UINT64_MAX);
+    EXPECT_EQ(scaleCount(1ULL << 62, 8.0), UINT64_MAX);
+    EXPECT_EQ(scaleCount(1ULL << 63, 1e300), UINT64_MAX);
+}
+
+TEST(ScaleCount, ExactInTheCastOnlyBand)
+{
+    // Products in [2^63, 2^64) exceed llround's range but still fit
+    // uint64_t: the helper must return the exact integer value of
+    // the double product, not a clamp.
+    const double product = static_cast<double>(1ULL << 62) * 2.5;
+    EXPECT_EQ(scaleCount(1ULL << 62, 2.5),
+              static_cast<uint64_t>(product));
+    EXPECT_GT(scaleCount(1ULL << 62, 2.5), 1ULL << 63);
+    EXPECT_LT(scaleCount(1ULL << 62, 2.5), UINT64_MAX);
+}
+
+TEST(ScaleCount, NegativeAndNanProductsClampToZero)
+{
+    EXPECT_EQ(scaleCount(100, -0.5), 0u);
+    EXPECT_EQ(scaleCount(100, -1e300), 0u);
+    EXPECT_EQ(scaleCount(100, std::nan("")), 0u);
+}
+
+} // namespace
+} // namespace vmargin::util
