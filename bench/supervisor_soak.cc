@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Supervised daemon soak throughput and safety record: rounds/second
+ * of the closed loop (plan -> revive -> settle -> govern -> run ->
+ * observe -> checkpoint) under a hostile management plane, with and
+ * without the margin supervisor, plus the journaled variant to price
+ * the per-round checkpoint commit.
+ *
+ * The canonical report is hashed per variant; the supervised run
+ * must be deterministic (same hash on a repeat), which is the
+ * property the journal-resume machinery rests on.
+ *
+ * Emits a JSON record for the bench trajectory:
+ *
+ *   {"bench":"supervisor_soak","rounds":...,"series":[...]}
+ *
+ * With `--json <path>` the record is also written to @p path.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "core/predictor.hh"
+#include "sched/daemon.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace vmargin;
+
+namespace
+{
+
+constexpr int kRounds = 24;
+constexpr Seed kSeed = 11;
+
+sim::FaultPlanConfig
+hostilePlan()
+{
+    sim::FaultPlanConfig plan;
+    plan.i2cWriteFailure = 0.10;
+    plan.staleRead = 0.05;
+    plan.managementHang = 0.002;
+    plan.watchdogMiss = 0.05;
+    plan.seed = 99;
+    return plan;
+}
+
+struct Series
+{
+    std::string label;
+    double seconds = 0.0;
+    double roundsPerSec = 0.0;
+    uint64_t crashes = 0;
+    double savingsPct = 0.0;
+    Seed reportHash = 0;
+};
+
+struct Trained
+{
+    CharacterizationReport report;
+    std::vector<WorkloadCounters> profiles;
+};
+
+Trained
+train()
+{
+    sim::Platform clean(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                        1);
+    CharacterizationFramework framework(&clean);
+    FrameworkConfig config;
+    config.workloads = wl::headlineSuite();
+    config.cores = {0, 4};
+    config.campaigns = 6;
+    config.maxEpochs = 8;
+    config.startVoltage = 930;
+    config.endVoltage = 840;
+    Trained trained{framework.characterize(config), {}};
+    Profiler profiler(&clean);
+    trained.profiles =
+        profiler.profileSuite(wl::headlineSuite(), 0, 8);
+    return trained;
+}
+
+Series
+soak(const Trained &trained, const std::string &label,
+     bool supervise, const std::string &journal)
+{
+    if (!journal.empty())
+        std::remove(journal.c_str());
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           1);
+    platform.installFaultPlan(hostilePlan());
+
+    sched::GovernorConfig config;
+    config.severityTolerance = 6.0;
+    config.guardSteps = 0;
+    sched::VoltageGovernor governor(config);
+    for (CoreId core : {0, 4}) {
+        const auto dataset = buildSeverityDataset(
+            trained.profiles, trained.report, core);
+        LinearPredictor predictor;
+        predictor.fit(dataset.x, dataset.y, 5, 8);
+        governor.setPredictor(core, std::move(predictor));
+    }
+    sched::GovernorDaemon daemon(&platform, std::move(governor));
+    for (const auto &profile : trained.profiles)
+        daemon.registerProfile(profile);
+
+    sched::DaemonOptions options;
+    options.maxEpochs = 8;
+    options.supervise = supervise;
+    options.journalPath = journal;
+
+    const auto begin = std::chrono::steady_clock::now();
+    const sched::DaemonResult result = daemon.run(
+        {{"bwaves/ref", 0}, {"namd/ref", 4}}, kRounds, kSeed,
+        options);
+    const auto end = std::chrono::steady_clock::now();
+    if (!journal.empty())
+        std::remove(journal.c_str());
+
+    Series series;
+    series.label = label;
+    series.seconds =
+        std::chrono::duration<double>(end - begin).count();
+    series.roundsPerSec =
+        static_cast<double>(kRounds) / series.seconds;
+    series.crashes = result.crashes;
+    series.savingsPct = result.energySavingsPercent;
+    series.reportHash =
+        util::hashSeed(sched::formatDaemonReport(result));
+    return series;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--json <path>]\n";
+            return 2;
+        }
+    }
+
+    util::printBanner(std::cout,
+                      "supervised daemon soak (closed loop under "
+                      "management-plane faults)");
+
+    const Trained trained = train();
+    std::vector<Series> series;
+    series.push_back(
+        soak(trained, "unsupervised", false, ""));
+    series.push_back(soak(trained, "supervised", true, ""));
+    series.push_back(
+        soak(trained, "supervised+journal", true,
+             "/tmp/vmargin_bench_supervisor_soak.journal"));
+    // The determinism spot-check: a repeat of the supervised run
+    // must hash identically.
+    const Series repeat =
+        soak(trained, "supervised-repeat", true, "");
+
+    bool ok = true;
+    for (const auto &s : series)
+        std::cout << util::padLeft(s.label, 20) << ": "
+                  << util::padLeft(
+                         util::formatDouble(s.roundsPerSec, 1), 8)
+                  << " rounds/s  (" << s.crashes << " crashes, "
+                  << util::formatDouble(s.savingsPct, 2)
+                  << "% savings)\n";
+    if (repeat.reportHash != series[1].reportHash) {
+        std::cerr << "FAIL: supervised soak is not deterministic "
+                     "(report hash changed on repeat)\n";
+        ok = false;
+    }
+    if (series[2].reportHash != series[1].reportHash) {
+        std::cerr << "FAIL: journaling changed the supervised "
+                     "report (persistence must be invisible)\n";
+        ok = false;
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\":\"supervisor_soak\",\"rounds\":" << kRounds
+         << ",\"series\":[";
+    for (size_t i = 0; i < series.size(); ++i) {
+        const auto &s = series[i];
+        json << (i ? "," : "") << "{\"label\":\"" << s.label
+             << "\",\"seconds\":"
+             << util::formatDouble(s.seconds, 4)
+             << ",\"rounds_per_sec\":"
+             << util::formatDouble(s.roundsPerSec, 2)
+             << ",\"crashes\":" << s.crashes
+             << ",\"savings_pct\":"
+             << util::formatDouble(s.savingsPct, 3)
+             << ",\"report_hash\":\"" << std::hex << s.reportHash
+             << std::dec << "\"}";
+    }
+    json << "],\"deterministic\":" << (ok ? "true" : "false")
+         << "}";
+
+    std::cout << json.str() << "\n";
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "FAIL: cannot write JSON to '" << json_path
+                      << "'\n";
+            return 1;
+        }
+        out << json.str() << "\n";
+    }
+    return ok ? 0 : 1;
+}

@@ -36,6 +36,12 @@ main(int argc, char **argv)
     cli.addFlag("reexec",
                 "re-execute SDC-corrupted tasks at nominal voltage "
                 "(section 4.4 recovery)");
+    cli.addFlag("supervise",
+                "wrap the governor in the margin supervisor "
+                "(adaptive guardband, quarantine, emergency clamp)");
+    cli.addOption("journal", "",
+                  "daemon journal path (crash-persistent sessions; "
+                  "rerun with the same arguments to resume)");
     if (!cli.parse(argc, argv))
         return 1;
 
@@ -91,6 +97,8 @@ main(int argc, char **argv)
               << " scheduling rounds...\n\n";
     sched::DaemonOptions options;
     options.reexecuteOnSdc = cli.flag("reexec");
+    options.supervise = cli.flag("supervise");
+    options.journalPath = cli.value("journal");
     const auto result = daemon.run(placements, rounds, 42, options);
 
     util::TablePrinter table({"round", "voltage (mV)",
@@ -107,17 +115,6 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    std::cout << "\naverage domain voltage : "
-              << util::formatDouble(result.averageVoltage, 1)
-              << " mV\n"
-              << "energy savings         : "
-              << util::formatDouble(result.energySavingsPercent, 1)
-              << "% vs all-nominal\n"
-              << "abnormal rounds        : "
-              << result.abnormalRounds << " / " << rounds << '\n'
-              << "crashes / watchdog     : " << result.crashes
-              << " / " << result.watchdogResets << '\n'
-              << "SDC re-executions      : " << result.reexecutions
-              << '\n';
+    std::cout << '\n' << sched::formatDaemonSummary(result);
     return 0;
 }

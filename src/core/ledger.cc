@@ -234,6 +234,91 @@ encodeCellCommit(const CellCommit &commit)
     return payload;
 }
 
+namespace
+{
+
+/** DaemonRoundRecord bool flags packed into one byte. */
+constexpr uint8_t kRoundAbnormal = 1u << 0;
+constexpr uint8_t kRoundCrashed = 1u << 1;
+constexpr uint8_t kRoundFallback = 1u << 2;
+constexpr uint8_t kRoundCanary = 1u << 3;
+constexpr uint8_t kRoundPinned = 1u << 4;
+
+} // namespace
+
+std::string
+encodeDaemonRound(const DaemonRoundRecord &record)
+{
+    std::string payload;
+    payload.push_back(
+        static_cast<char>(LedgerRecord::Kind::DaemonRound));
+    putU32(payload, static_cast<uint32_t>(record.round));
+    putU32(payload, static_cast<uint32_t>(record.voltage));
+    putF64(payload, record.energyJoule);
+    putF64(payload, record.nominalJoule);
+    uint8_t flags = 0;
+    flags |= record.anyAbnormal ? kRoundAbnormal : 0;
+    flags |= record.crashed ? kRoundCrashed : 0;
+    flags |= record.nominalFallback ? kRoundFallback : 0;
+    flags |= record.canaryProbe ? kRoundCanary : 0;
+    flags |= record.safePinned ? kRoundPinned : 0;
+    payload.push_back(static_cast<char>(flags));
+    payload.push_back(static_cast<char>(record.fallbackReason));
+    putU32(payload, static_cast<uint32_t>(record.reexecutions));
+    putU32(payload, static_cast<uint32_t>(record.guardSteps));
+    return payload;
+}
+
+std::string
+encodeSupervisorCheckpoint(const SupervisorCheckpoint &state)
+{
+    std::string payload;
+    payload.push_back(
+        static_cast<char>(LedgerRecord::Kind::Supervisor));
+    putU32(payload, state.roundsCompleted);
+    putU32(payload, static_cast<uint32_t>(state.legacyClampMv));
+    putU32(payload, state.legacyStreak);
+    putU64(payload, state.watchdogResets);
+    payload.push_back(
+        static_cast<char>(state.machineResponsive ? 1 : 0));
+    payload.push_back(
+        static_cast<char>(state.hasSensorSample ? 1 : 0));
+    putF64(payload, state.sensorSample);
+    putTelemetry(payload, state.telemetry);
+    payload.push_back(
+        static_cast<char>(state.supervisorEnabled ? 1 : 0));
+    putU32(payload, static_cast<uint32_t>(state.guardSteps));
+    putU32(payload, static_cast<uint32_t>(state.peakGuardSteps));
+    putU32(payload, state.cleanStreak);
+    payload.push_back(static_cast<char>(state.clampReason));
+    putU64(payload, state.backoffEvents);
+    putU64(payload, state.narrowEvents);
+    putU64(payload, state.quarantines);
+    putU64(payload, state.readmissions);
+    putU64(payload, state.canaryRounds);
+    putU64(payload, state.canaryFailures);
+    putU64(payload, state.pinnedRounds);
+    putU32(payload,
+           static_cast<uint32_t>(state.recentCrashRounds.size()));
+    for (const uint32_t round : state.recentCrashRounds)
+        putU32(payload, round);
+    putU32(payload, static_cast<uint32_t>(state.cores.size()));
+    for (const auto &core : state.cores) {
+        putU32(payload, core.core);
+        payload.push_back(static_cast<char>(core.mode));
+        putF64(payload, core.ceRate);
+        putF64(payload, core.ueRate);
+        putF64(payload, core.sdcRate);
+        putF64(payload, core.crashRate);
+        putU64(payload, core.ceEvents);
+        putU64(payload, core.ueEvents);
+        putU64(payload, core.sdcEvents);
+        putU64(payload, core.crashEvents);
+        putU32(payload, core.cleanInQuarantine);
+    }
+    return payload;
+}
+
 bool
 decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
 {
@@ -274,6 +359,71 @@ decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
         commit.telemetry = readTelemetry(reader);
         return reader.ok();
       }
+      case LedgerRecord::Kind::DaemonRound: {
+        record.kind = LedgerRecord::Kind::DaemonRound;
+        DaemonRoundRecord &round = record.daemonRound;
+        round = DaemonRoundRecord{};
+        round.round = static_cast<int>(reader.u32());
+        round.voltage = static_cast<MilliVolt>(reader.u32());
+        round.energyJoule = reader.f64();
+        round.nominalJoule = reader.f64();
+        const uint8_t flags = reader.u8();
+        round.anyAbnormal = (flags & kRoundAbnormal) != 0;
+        round.crashed = (flags & kRoundCrashed) != 0;
+        round.nominalFallback = (flags & kRoundFallback) != 0;
+        round.canaryProbe = (flags & kRoundCanary) != 0;
+        round.safePinned = (flags & kRoundPinned) != 0;
+        round.fallbackReason = reader.u8();
+        round.reexecutions = static_cast<int>(reader.u32());
+        round.guardSteps = static_cast<int>(reader.u32());
+        return reader.ok();
+      }
+      case LedgerRecord::Kind::Supervisor: {
+        record.kind = LedgerRecord::Kind::Supervisor;
+        SupervisorCheckpoint &state = record.supervisor;
+        state = SupervisorCheckpoint{};
+        state.roundsCompleted = reader.u32();
+        state.legacyClampMv = static_cast<MilliVolt>(reader.u32());
+        state.legacyStreak = reader.u32();
+        state.watchdogResets = reader.u64();
+        state.machineResponsive = reader.u8() != 0;
+        state.hasSensorSample = reader.u8() != 0;
+        state.sensorSample = reader.f64();
+        state.telemetry = readTelemetry(reader);
+        state.supervisorEnabled = reader.u8() != 0;
+        state.guardSteps = static_cast<int32_t>(reader.u32());
+        state.peakGuardSteps = static_cast<int32_t>(reader.u32());
+        state.cleanStreak = reader.u32();
+        state.clampReason = reader.u8();
+        state.backoffEvents = reader.u64();
+        state.narrowEvents = reader.u64();
+        state.quarantines = reader.u64();
+        state.readmissions = reader.u64();
+        state.canaryRounds = reader.u64();
+        state.canaryFailures = reader.u64();
+        state.pinnedRounds = reader.u64();
+        const uint32_t crashes = reader.u32();
+        for (uint32_t i = 0; i < crashes && reader.ok(); ++i)
+            state.recentCrashRounds.push_back(reader.u32());
+        const uint32_t cores = reader.u32();
+        for (uint32_t i = 0; i < cores && reader.ok(); ++i) {
+            SupervisorCheckpoint::CoreState core;
+            core.core = reader.u32();
+            core.mode = reader.u8();
+            core.ceRate = reader.f64();
+            core.ueRate = reader.f64();
+            core.sdcRate = reader.f64();
+            core.crashRate = reader.f64();
+            core.ceEvents = reader.u64();
+            core.ueEvents = reader.u64();
+            core.sdcEvents = reader.u64();
+            core.crashEvents = reader.u64();
+            core.cleanInQuarantine = reader.u32();
+            if (reader.ok())
+                state.cores.push_back(core);
+        }
+        return reader.ok();
+      }
     }
     return false;
 }
@@ -310,6 +460,7 @@ RunLedger::open(const std::string &app_header,
                 const std::string &mismatch_hint)
 {
     entries_.clear();
+    daemonRounds_.clear();
 
     std::ifstream in(path_, std::ios::binary);
     if (!in) {
@@ -345,6 +496,23 @@ RunLedger::open(const std::string &app_header,
     CellMeasurement pending;
     bool pending_corrupt = false;
     size_t pending_records = 0;
+
+    // Daemon-round pairing state: a round frame awaits its
+    // checkpoint frame (the commit). Any break in the sequence —
+    // corruption, a gap, an out-of-order round — poisons the rest
+    // of the daemon stream: resuming past a hole would continue
+    // from a wrong trajectory, so everything after it is re-run.
+    bool daemon_poisoned = false;
+    bool have_pending_round = false;
+    DaemonRoundRecord pending_round;
+
+    const auto poisonDaemon = [&](const char *why) {
+        if (!daemon_poisoned)
+            util::warnf(name_, ": '", path_, "' ", why,
+                        "; later daemon rounds will be re-run");
+        daemon_poisoned = true;
+        have_pending_round = false;
+    };
 
     const auto resetPending = [&]() {
         pending = CellMeasurement{};
@@ -414,8 +582,10 @@ RunLedger::open(const std::string &app_header,
                         "' frame checksum mismatch; skipping the "
                         "record");
             // The cell this record belonged to can no longer prove
-            // integrity; poison it so its commit is refused.
+            // integrity; poison it so its commit is refused. The
+            // daemon stream loses its sequence guarantee too.
             pending_corrupt = true;
+            poisonDaemon("frame checksum mismatch");
             continue;
         }
 
@@ -424,6 +594,7 @@ RunLedger::open(const std::string &app_header,
             util::warnf(name_, ": '", path_,
                         "' malformed record; skipping it");
             pending_corrupt = true;
+            poisonDaemon("malformed record");
             continue;
         }
 
@@ -432,6 +603,39 @@ RunLedger::open(const std::string &app_header,
                 pending.workloadId = record.run.key.workloadId;
             pending.runs.push_back(std::move(record.run));
             ++pending_records;
+            continue;
+        }
+
+        if (record.kind == LedgerRecord::Kind::DaemonRound) {
+            if (daemon_poisoned)
+                continue;
+            if (have_pending_round) {
+                poisonDaemon("daemon round without its checkpoint");
+                continue;
+            }
+            if (record.daemonRound.round !=
+                static_cast<int>(daemonRounds_.size())) {
+                poisonDaemon("daemon round out of sequence");
+                continue;
+            }
+            pending_round = record.daemonRound;
+            have_pending_round = true;
+            continue;
+        }
+
+        if (record.kind == LedgerRecord::Kind::Supervisor) {
+            if (daemon_poisoned)
+                continue;
+            if (!have_pending_round ||
+                record.supervisor.roundsCompleted !=
+                    static_cast<uint32_t>(pending_round.round) + 1) {
+                poisonDaemon(
+                    "supervisor checkpoint out of sequence");
+                continue;
+            }
+            daemonRounds_.push_back(DaemonRoundEntry{
+                pending_round, std::move(record.supervisor)});
+            have_pending_round = false;
             continue;
         }
 
@@ -518,6 +722,27 @@ RunLedger::append(Seed config_hash, const CellMeasurement &cell)
         util::fatalError(name_ + ": write to '" + path_ +
                          "' failed");
     entries_.push_back(Entry{config_hash, cell});
+}
+
+void
+RunLedger::appendDaemonRound(const DaemonRoundRecord &round,
+                             const SupervisorCheckpoint &state)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string bytes;
+    appendFrame(bytes, encodeDaemonRound(round));
+    appendFrame(bytes, encodeSupervisorCheckpoint(state));
+
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out)
+        util::fatalError(name_ + ": cannot append to '" + path_ +
+                         "'");
+    out << bytes;
+    out.flush();
+    if (!out)
+        util::fatalError(name_ + ": write to '" + path_ +
+                         "' failed");
+    daemonRounds_.push_back(DaemonRoundEntry{round, state});
 }
 
 // ---- LedgerView --------------------------------------------------

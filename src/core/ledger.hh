@@ -116,6 +116,101 @@ struct CellCommit
     RecoveryTelemetry telemetry;
 };
 
+/**
+ * One scheduling round of the undervolting daemon, as persisted in a
+ * daemon journal. The field set mirrors the in-memory round record
+ * of `sched::GovernorDaemon` exactly (the sched layer aliases this
+ * type), so the journal is a bit-exact write-ahead log of the
+ * daemon's report: doubles round-trip through their bits and a
+ * resumed session reproduces the uninterrupted report byte for
+ * byte.
+ */
+struct DaemonRoundRecord
+{
+    int round = 0;
+    MilliVolt voltage = 980;   ///< voltage the round ran at
+    double energyJoule = 0.0;  ///< consumed at that voltage
+    double nominalJoule = 0.0; ///< same work at nominal voltage
+    bool anyAbnormal = false;  ///< SDC/CE/UE/AC in the round
+    bool crashed = false;      ///< machine went down this round
+    int reexecutions = 0;      ///< SDC recoveries this round
+
+    /** True when the governor's setpoint could not be applied within
+     *  the retry budget and the round ran at the safe voltage. */
+    bool nominalFallback = false;
+
+    /** Why the round fell back (FallbackReason code; 0 = none). */
+    uint8_t fallbackReason = 0;
+
+    /** Supervisor guard steps added on top of the governor's
+     *  configured guardband this round (0 when unsupervised). */
+    int guardSteps = 0;
+
+    /** True when this round was a canary probe re-admitting
+     *  quarantined cores at a stepped-down undervolt. */
+    bool canaryProbe = false;
+
+    /** True when the supervisor pinned the round at the safe
+     *  voltage (quarantine healing or emergency clamp). */
+    bool safePinned = false;
+};
+
+/**
+ * Crash-persistent supervisor/daemon state, checkpointed into the
+ * daemon journal after every round. A watchdog power cycle (or a
+ * plain process kill) resumes from the last intact checkpoint with
+ * the learned safety posture — guardband, quarantine set, event
+ * counters — instead of re-learning it by crashing again. The sched
+ * layer owns the semantics; this struct is the neutral wire format
+ * (modes and reasons are raw codes here).
+ */
+struct SupervisorCheckpoint
+{
+    /** Rounds fully served (and journaled) when this was written. */
+    uint32_t roundsCompleted = 0;
+
+    // -- daemon continuation state --------------------------------
+    MilliVolt legacyClampMv = 0; ///< cumulative abnormal-streak clamp
+    uint32_t legacyStreak = 0;   ///< consecutive abnormal rounds
+    uint64_t watchdogResets = 0; ///< cumulative session power cycles
+    bool machineResponsive = true; ///< machine state at round end
+    bool hasSensorSample = false;  ///< SLIMpro temp cache validity
+    double sensorSample = 0.0;     ///< SLIMpro cached temperature
+    RecoveryTelemetry telemetry;   ///< cumulative session telemetry
+
+    // -- supervisor state -----------------------------------------
+    bool supervisorEnabled = false;
+    int32_t guardSteps = 0;     ///< current adaptive guard steps
+    int32_t peakGuardSteps = 0; ///< widest guard reached so far
+    uint32_t cleanStreak = 0;   ///< clean rounds toward a narrow
+    uint8_t clampReason = 0;    ///< ClampReason code; 0 = none
+    uint64_t backoffEvents = 0;
+    uint64_t narrowEvents = 0;
+    uint64_t quarantines = 0;
+    uint64_t readmissions = 0;
+    uint64_t canaryRounds = 0;
+    uint64_t canaryFailures = 0;
+    uint64_t pinnedRounds = 0;
+    std::vector<uint32_t> recentCrashRounds; ///< clamp window
+
+    /** One supervised core's posture. */
+    struct CoreState
+    {
+        uint32_t core = 0;
+        uint8_t mode = 0; ///< CoreMode code (normal/quarantined)
+        double ceRate = 0.0;
+        double ueRate = 0.0;
+        double sdcRate = 0.0;
+        double crashRate = 0.0;
+        uint64_t ceEvents = 0;
+        uint64_t ueEvents = 0;
+        uint64_t sdcEvents = 0;
+        uint64_t crashEvents = 0;
+        uint32_t cleanInQuarantine = 0;
+    };
+    std::vector<CoreState> cores;
+};
+
 /** One decoded ledger record. */
 struct LedgerRecord
 {
@@ -123,10 +218,14 @@ struct LedgerRecord
     {
         Run = 1,
         Commit = 2,
+        DaemonRound = 3,
+        Supervisor = 4,
     };
     Kind kind = Kind::Run;
-    RunRecord run;     ///< valid when kind == Run
-    CellCommit commit; ///< valid when kind == Commit
+    RunRecord run;                 ///< valid when kind == Run
+    CellCommit commit;             ///< valid when kind == Commit
+    DaemonRoundRecord daemonRound; ///< valid when kind == DaemonRound
+    SupervisorCheckpoint supervisor; ///< valid when kind == Supervisor
 };
 
 // ---- framing -----------------------------------------------------
@@ -146,6 +245,8 @@ void appendFrame(std::string &out, std::string_view payload);
 /** Encode records to frame payloads (no framing applied). */
 std::string encodeRunRecord(const RunRecord &record);
 std::string encodeCellCommit(const CellCommit &commit);
+std::string encodeDaemonRound(const DaemonRoundRecord &record);
+std::string encodeSupervisorCheckpoint(const SupervisorCheckpoint &state);
 
 /**
  * Decode one frame payload. Returns false on a malformed payload
@@ -217,6 +318,32 @@ class RunLedger
     };
     const std::vector<Entry> &entries() const { return entries_; }
 
+    /**
+     * One daemon round with the checkpoint that committed it. The
+     * checkpoint frame plays the commit role: a round frame whose
+     * checkpoint is missing, corrupt or out of sequence is the tail
+     * a killed daemon was writing — it (and everything after it) is
+     * discarded on load and the round is re-executed.
+     */
+    struct DaemonRoundEntry
+    {
+        DaemonRoundRecord round;
+        SupervisorCheckpoint state;
+    };
+
+    /** Committed daemon rounds in round order (daemon journals). */
+    const std::vector<DaemonRoundEntry> &daemonRounds() const
+    {
+        return daemonRounds_;
+    }
+
+    /**
+     * Append one daemon round plus its supervisor checkpoint as a
+     * single flushed unit (write-ahead semantics, like cells).
+     */
+    void appendDaemonRound(const DaemonRoundRecord &round,
+                           const SupervisorCheckpoint &state);
+
     const std::string &path() const { return path_; }
 
   private:
@@ -228,6 +355,7 @@ class RunLedger
     std::string name_;
     mutable std::mutex mutex_; ///< guards entries_ and the file tail
     std::vector<Entry> entries_;
+    std::vector<DaemonRoundEntry> daemonRounds_;
 };
 
 /**

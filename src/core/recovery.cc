@@ -19,6 +19,20 @@ RetryPolicy::validate() const
             "retry policy: backoffCapUs below backoffBaseUs");
 }
 
+const char *
+fallbackReasonName(FallbackReason reason)
+{
+    switch (reason) {
+    case FallbackReason::None:
+        return "none";
+    case FallbackReason::RetriesExhausted:
+        return "retries-exhausted";
+    case FallbackReason::MachineUnresponsive:
+        return "machine-unresponsive";
+    }
+    return "unknown";
+}
+
 void
 RecoveryTelemetry::merge(const RecoveryTelemetry &other)
 {

@@ -46,6 +46,22 @@ struct RetryPolicy
     void validate() const;
 };
 
+/**
+ * Why a daemon round was served at the safe fallback voltage
+ * instead of the governor's setpoint. A closed code set (like
+ * WatchdogContext) keeps the aggregate report machine-comparable:
+ * the daemon summary breaks its fallback count down by these codes.
+ */
+enum class FallbackReason : uint8_t
+{
+    None = 0,          ///< the setpoint was applied
+    RetriesExhausted,  ///< I2C retry budget spent, machine still up
+    MachineUnresponsive, ///< machine was down through every attempt
+};
+
+/** Printable reason name. */
+const char *fallbackReasonName(FallbackReason reason);
+
 /** Counters describing how much resilience machinery fired. */
 struct RecoveryTelemetry
 {

@@ -302,4 +302,24 @@ CampaignJournal::append(const CellMeasurement &cell)
     ledger_.append(0, cell);
 }
 
+DaemonJournal::DaemonJournal(std::string path)
+    : ledger_(std::move(path), "daemon-journal")
+{
+}
+
+void
+DaemonJournal::open(const std::string &header)
+{
+    ledger_.open(header,
+                 "was recorded for a different daemon session "
+                 "(header mismatch); refusing to resume from it");
+}
+
+void
+DaemonJournal::append(const DaemonRoundRecord &round,
+                      const SupervisorCheckpoint &state)
+{
+    ledger_.appendDaemonRound(round, state);
+}
+
 } // namespace vmargin

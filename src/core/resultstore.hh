@@ -135,6 +135,45 @@ class CampaignJournal
     RunLedger ledger_;
 };
 
+/**
+ * Write-ahead journal of a supervised daemon session's rounds.
+ *
+ * The same ledger framing as CampaignJournal, applied to the
+ * daemon's unit of work: every served round is appended as a round
+ * frame plus the supervisor checkpoint that commits it, flushed as
+ * one unit. A killed (or watchdog-power-cycled) daemon reopens the
+ * journal, replays the committed rounds verbatim into its result,
+ * restores the last checkpoint's safety posture, and continues from
+ * the first unserved round — reproducing the uninterrupted session's
+ * report byte for byte. The binding header (built by the daemon from
+ * everything that shapes a round) refuses resumption under a
+ * different experiment.
+ */
+class DaemonJournal
+{
+  public:
+    explicit DaemonJournal(std::string path);
+
+    /** Bind to @p header and load the committed rounds. Fatal when
+     *  the file was recorded for a different daemon session. */
+    void open(const std::string &header);
+
+    /** Committed rounds in round order; invalidated by append(). */
+    const std::vector<RunLedger::DaemonRoundEntry> &rounds() const
+    {
+        return ledger_.daemonRounds();
+    }
+
+    /** Append one round plus its checkpoint and flush. */
+    void append(const DaemonRoundRecord &round,
+                const SupervisorCheckpoint &state);
+
+    const std::string &path() const { return ledger_.path(); }
+
+  private:
+    RunLedger ledger_;
+};
+
 } // namespace vmargin
 
 #endif // VMARGIN_CORE_RESULTSTORE_HH

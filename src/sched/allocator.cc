@@ -1,6 +1,7 @@
 #include "allocator.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -42,16 +43,32 @@ Allocation
 TaskAllocator::allocate(
     const std::vector<std::string> &workload_ids) const
 {
-    // Characterized cores = the cores present in the report.
+    return allocate(workload_ids, {});
+}
+
+Allocation
+TaskAllocator::allocate(
+    const std::vector<std::string> &workload_ids,
+    const std::vector<CoreId> &excluded_cores) const
+{
+    // Characterized cores = the cores present in the report, minus
+    // the excluded (quarantined) ones.
     std::vector<CoreId> cores;
     for (const auto &cell : report_.cells) {
+        if (std::find(excluded_cores.begin(), excluded_cores.end(),
+                      cell.core) != excluded_cores.end())
+            continue;
         if (std::find(cores.begin(), cores.end(), cell.core) ==
             cores.end())
             cores.push_back(cell.core);
     }
     if (workload_ids.size() > cores.size())
-        util::fatalError("allocator: more tasks than characterized "
-                         "cores");
+        util::fatalError(
+            "allocator: " + std::to_string(workload_ids.size()) +
+            " tasks but only " + std::to_string(cores.size()) +
+            " eligible cores (" +
+            std::to_string(excluded_cores.size()) +
+            " quarantined)");
     for (const auto &workload_id : workload_ids) {
         bool known = false;
         for (const auto &cell : report_.cells)

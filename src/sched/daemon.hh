@@ -11,6 +11,13 @@
  * SLIMpro, executes the round, accounts the energy and recovers
  * from any crash through the watchdog. The result quantifies the
  * realized savings and the safety record of the whole scheme.
+ *
+ * An optional MarginSupervisor wraps the governor: it adapts the
+ * guardband to the observed abnormal-event rates, quarantines
+ * misbehaving cores, clamps to nominal under crash storms, and —
+ * through the daemon journal — persists that whole safety posture
+ * so a killed or power-cycled session resumes where it left off and
+ * reproduces the uninterrupted session's report byte for byte.
  */
 
 #ifndef VMARGIN_SCHED_DAEMON_HH
@@ -27,25 +34,17 @@
 #include "power/energy.hh"
 #include "sim/slimpro.hh"
 #include "sim/watchdog.hh"
+#include "supervisor.hh"
 
 namespace vmargin::sched
 {
 
-/** One scheduling round's outcome. */
-struct RoundRecord
-{
-    int round = 0;
-    MilliVolt voltage = 980;   ///< governor's decision
-    double energyJoule = 0.0;  ///< consumed at that voltage
-    double nominalJoule = 0.0; ///< same work at nominal voltage
-    bool anyAbnormal = false;  ///< SDC/CE/UE/AC in the round
-    bool crashed = false;      ///< machine went down this round
-    int reexecutions = 0;      ///< SDC recoveries this round
-
-    /** True when the governor's setpoint could not be applied within
-     *  the retry budget and the round ran at the safe voltage. */
-    bool nominalFallback = false;
-};
+/**
+ * One scheduling round's outcome. The persisted wire format in
+ * core/ledger *is* the in-memory record: the daemon journal appends
+ * these verbatim and a resumed session replays them bit-exactly.
+ */
+using RoundRecord = ::vmargin::DaemonRoundRecord;
 
 /** Daemon behaviour knobs. */
 struct DaemonOptions
@@ -79,6 +78,46 @@ struct DaemonOptions
 
     /** Upward clamp growth per trigger. */
     MilliVolt clampStepMv = 10;
+
+    /** Enable the margin supervisor: adaptive guardband, core
+     *  quarantine with canary re-admission, emergency clamp. */
+    bool supervise = false;
+
+    /** Supervisor tuning (used when supervise is set). */
+    SupervisorOptions supervisor;
+
+    /**
+     * Daemon journal path; empty runs without persistence. With a
+     * journal every served round is committed (round frame plus
+     * supervisor checkpoint) before the next begins, and run()
+     * resumes an existing journal from its first unserved round.
+     */
+    std::string journalPath;
+
+    /**
+     * Serve at most this many *fresh* rounds this session, then
+     * return with complete=false (0 = no limit). With a journal
+     * this simulates a mid-session kill: the next run() with the
+     * same arguments continues exactly where this one stopped.
+     */
+    int roundBudget = 0;
+};
+
+/** Supervisor outcome summary inside a daemon result. */
+struct SupervisorReport
+{
+    bool enabled = false;
+    int guardSteps = 0;     ///< adaptive guard at session end
+    int peakGuardSteps = 0; ///< widest adaptive guard reached
+    ClampReason clampReason = ClampReason::None;
+    uint64_t backoffEvents = 0;
+    uint64_t narrowEvents = 0;
+    uint64_t quarantines = 0;
+    uint64_t readmissions = 0;
+    uint64_t canaryRounds = 0;
+    uint64_t canaryFailures = 0;
+    uint64_t pinnedRounds = 0;
+    std::vector<CoreId> quarantinedCores; ///< still held at end
 };
 
 /** Aggregate daemon statistics. */
@@ -96,13 +135,39 @@ struct DaemonResult
      *  governor's setpoint could not be applied. */
     uint64_t fallbackRounds = 0;
 
+    /** fallbackRounds broken down by FallbackReason. */
+    uint64_t fallbackRetriesExhausted = 0;
+    uint64_t fallbackMachineUnresponsive = 0;
+
     /** Final upward clamp on governor decisions (0 = never
      *  triggered). */
     MilliVolt governorClampMv = 0;
 
-    /** Recovery counters for this run. */
+    /** False when roundBudget stopped the session early. */
+    bool complete = true;
+
+    /** Rounds replayed verbatim from the journal this session. */
+    uint64_t replayedRounds = 0;
+
+    /** Recovery counters for this session (journal-cumulative). */
     RecoveryTelemetry telemetry;
+
+    /** Supervisor posture at session end. */
+    SupervisorReport supervisor;
 };
+
+/**
+ * Canonical textual report of a daemon session: every round plus the
+ * aggregates, doubles rendered round-trip exact. Two sessions that
+ * served the same rounds — e.g. an uninterrupted run and a killed
+ * run resumed from its journal — produce byte-identical reports.
+ * Session-local operational detail (replayedRounds) is deliberately
+ * excluded.
+ */
+std::string formatDaemonReport(const DaemonResult &result);
+
+/** Human-readable summary with reason-coded fallback counts. */
+std::string formatDaemonSummary(const DaemonResult &result);
 
 /** The closed-loop daemon. */
 class GovernorDaemon
@@ -110,7 +175,9 @@ class GovernorDaemon
   public:
     /**
      * @param platform machine under control (not owned)
-     * @param governor trained voltage governor (moved in)
+     * @param governor trained voltage governor (moved in; its
+     *        configuration is validated here, value-bearing fatal
+     *        on a config the daemon cannot operate with)
      */
     GovernorDaemon(sim::Platform *platform, VoltageGovernor governor);
 
@@ -126,7 +193,10 @@ class GovernorDaemon
      * Run @p rounds scheduling rounds of the fixed placement. Every
      * placed workload must have a registered profile and its core a
      * governor predictor; otherwise the round pins nominal voltage
-     * (the governor's fail-safe).
+     * (the governor's fail-safe). With options.journalPath set, an
+     * existing journal's committed rounds are replayed verbatim and
+     * execution continues from the first unserved round with the
+     * checkpointed safety posture restored.
      */
     DaemonResult run(const std::vector<Placement> &placements,
                      int rounds, Seed seed,

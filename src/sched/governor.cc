@@ -1,19 +1,36 @@
 #include "governor.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hh"
 
 namespace vmargin::sched
 {
 
+void
+GovernorConfig::validate() const
+{
+    if (guardSteps < 0)
+        util::fatalError("governor: guardSteps must be >= 0 (got " +
+                         std::to_string(guardSteps) + ")");
+    if (step <= 0)
+        util::fatalError("governor: step must be positive (got " +
+                         std::to_string(step) + " mV)");
+    if (floor > nominal)
+        util::fatalError("governor: floor above nominal (floor " +
+                         std::to_string(floor) + " mV > nominal " +
+                         std::to_string(nominal) + " mV)");
+    if (severityTolerance < 0.0)
+        util::fatalError(
+            "governor: severityTolerance must be >= 0 (got " +
+            std::to_string(severityTolerance) + ")");
+}
+
 VoltageGovernor::VoltageGovernor(GovernorConfig config)
     : config_(config)
 {
-    if (config_.step <= 0 || config_.guardSteps < 0)
-        util::panicf("VoltageGovernor: bad config");
-    if (config_.floor > config_.nominal)
-        util::panicf("VoltageGovernor: floor above nominal");
+    config_.validate();
 }
 
 void

@@ -33,6 +33,16 @@ struct GovernorConfig
     MilliVolt nominal = 980;
     MilliVolt floor = 840; ///< never decide below this
     MilliVolt step = 5;
+
+    /**
+     * Fatal on a config the governor cannot operate with: negative
+     * guard steps, a non-positive regulation step, a floor above
+     * nominal, or a negative severity tolerance. Every message
+     * carries the offending value, mirroring
+     * FrameworkConfig::validate(). Called by the VoltageGovernor
+     * constructor and again when a daemon adopts the governor.
+     */
+    void validate() const;
 };
 
 /** One active core's observation: its full counter feature row. */

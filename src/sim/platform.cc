@@ -68,6 +68,16 @@ Platform::powerCycle()
 }
 
 void
+Platform::settleForRound()
+{
+    if (!responsive())
+        return;
+    chip_->reset();
+    thermal_.reset();
+    thermal_.step(30.0, 15.0);
+}
+
+void
 Platform::powerOff()
 {
     state_ = MachineState::Off;

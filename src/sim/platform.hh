@@ -70,6 +70,21 @@ class Platform
     /** Front panel: pull power, then boot fresh at nominal V/F. */
     void powerCycle();
 
+    /**
+     * Settle a *running* machine into the canonical round-start
+     * state: chip reset (domains to nominal, caches invalidated,
+     * EDAC cleared) and package re-settled at the fan target — the
+     * same state a fresh boot leaves behind, without a power cycle.
+     * The undervolting daemon calls this between scheduling rounds
+     * so every round is a pure function of its experiment
+     * coordinates (seed, round) rather than of the platform's
+     * execution history; that purity is what makes a journal-resumed
+     * daemon session byte-identical to an uninterrupted one. No-op
+     * when the machine is down (the watchdog's power cycle performs
+     * the same reset anyway).
+     */
+    void settleForRound();
+
     /** Front panel: reset button (same recovery effect here). */
     void pressReset() { powerCycle(); }
 

@@ -136,4 +136,20 @@ SlimPro::clearErrorLog()
     platform_->chip().edac().clear();
 }
 
+SlimPro::SensorCache
+SlimPro::sensorCache() const
+{
+    SensorCache cache;
+    cache.hasTemperature = hasLastTemperature_;
+    cache.temperature = lastTemperature_;
+    return cache;
+}
+
+void
+SlimPro::restoreSensorCache(const SensorCache &cache)
+{
+    hasLastTemperature_ = cache.hasTemperature;
+    lastTemperature_ = cache.temperature;
+}
+
 } // namespace vmargin::sim

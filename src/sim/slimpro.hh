@@ -69,6 +69,25 @@ class SlimPro
     /** Clear the error log (done between characterization runs). */
     void clearErrorLog();
 
+    /**
+     * The temperature sensor's stale-read cache. A stale I2C read
+     * returns this previously sampled value, so the cache is part of
+     * the management plane's observable state: the daemon journal
+     * checkpoints it so a resumed session sees the same stale reads
+     * an uninterrupted one would.
+     */
+    struct SensorCache
+    {
+        bool hasTemperature = false;
+        Celsius temperature = 0.0;
+    };
+
+    /** Snapshot the stale-read cache (journal checkpoint). */
+    SensorCache sensorCache() const;
+
+    /** Restore a snapshot taken by sensorCache() (journal resume). */
+    void restoreSensorCache(const SensorCache &cache);
+
   private:
     bool managementReady() const;
 

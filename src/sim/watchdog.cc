@@ -23,6 +23,8 @@ watchdogContextName(WatchdogContext context)
         return "daemon-end";
     case WatchdogContext::RecoveryPoll:
         return "recovery-poll";
+    case WatchdogContext::CanaryProbe:
+        return "canary-probe";
     }
     return "unknown";
 }

@@ -38,6 +38,7 @@ enum class WatchdogContext : uint8_t
     DaemonRoundStart, ///< before a daemon scheduling round
     DaemonEnd,        ///< daemon shutdown
     RecoveryPoll,     ///< retry layer reviving the machine
+    CanaryProbe,      ///< before a supervisor canary probe round
 };
 
 /** What the poll did. */

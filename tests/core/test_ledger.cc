@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -271,6 +272,247 @@ TEST(RunLedger, CommitWithWrongRunCountIsRefused)
     RunLedger reopened(path, "test");
     reopened.open("h");
     EXPECT_EQ(reopened.size(), 0u);
+    std::remove(path.c_str());
+}
+
+DaemonRoundRecord
+makeDaemonRound(int round)
+{
+    DaemonRoundRecord record;
+    record.round = round;
+    record.voltage = 900 - 5 * round;
+    record.energyJoule = 1.5 + 0.001953125 * round;
+    record.nominalJoule = 2.25 + 0.001953125 * round;
+    record.anyAbnormal = round % 2 == 1;
+    record.crashed = round == 3;
+    record.reexecutions = round % 2;
+    record.nominalFallback = round == 2;
+    record.fallbackReason = round == 2 ? 1 : 0;
+    record.guardSteps = round;
+    record.canaryProbe = round == 4;
+    record.safePinned = round == 3;
+    return record;
+}
+
+SupervisorCheckpoint
+makeCheckpoint(int rounds_completed)
+{
+    SupervisorCheckpoint state;
+    state.roundsCompleted = static_cast<uint32_t>(rounds_completed);
+    state.legacyClampMv = 10;
+    state.legacyStreak = 2;
+    state.watchdogResets = 3;
+    state.machineResponsive = rounds_completed % 2 == 0;
+    state.hasSensorSample = true;
+    state.sensorSample = 51.0 + 0.0009765625 * rounds_completed;
+    state.telemetry.retries = 7;
+    state.telemetry.backoffUsTotal = 12345;
+    state.supervisorEnabled = true;
+    state.guardSteps = 4;
+    state.peakGuardSteps = 6;
+    state.cleanStreak = 1;
+    state.clampReason = 2;
+    state.backoffEvents = 3;
+    state.narrowEvents = 1;
+    state.quarantines = 2;
+    state.readmissions = 1;
+    state.canaryRounds = 2;
+    state.canaryFailures = 1;
+    state.pinnedRounds = 5;
+    state.recentCrashRounds = {3, 7};
+    SupervisorCheckpoint::CoreState core;
+    core.core = 4;
+    core.mode = 1;
+    core.ceRate = 0.6180339887498949;
+    core.ueRate = 0.125;
+    core.sdcRate = 0.0078125;
+    core.crashRate = 0.30000000000000004;
+    core.ceEvents = 11;
+    core.ueEvents = 2;
+    core.sdcEvents = 1;
+    core.crashEvents = 1;
+    core.cleanInQuarantine = 2;
+    state.cores.push_back(core);
+    return state;
+}
+
+TEST(LedgerCodec, DaemonRoundRoundTripsBitExact)
+{
+    const DaemonRoundRecord round = makeDaemonRound(3);
+    LedgerRecord decoded;
+    ASSERT_TRUE(
+        decodeLedgerRecord(encodeDaemonRound(round), decoded));
+    ASSERT_EQ(decoded.kind, LedgerRecord::Kind::DaemonRound);
+    EXPECT_EQ(decoded.daemonRound.round, round.round);
+    EXPECT_EQ(decoded.daemonRound.voltage, round.voltage);
+    EXPECT_EQ(decoded.daemonRound.energyJoule, round.energyJoule);
+    EXPECT_EQ(decoded.daemonRound.nominalJoule, round.nominalJoule);
+    EXPECT_EQ(decoded.daemonRound.anyAbnormal, round.anyAbnormal);
+    EXPECT_EQ(decoded.daemonRound.crashed, round.crashed);
+    EXPECT_EQ(decoded.daemonRound.reexecutions, round.reexecutions);
+    EXPECT_EQ(decoded.daemonRound.nominalFallback,
+              round.nominalFallback);
+    EXPECT_EQ(decoded.daemonRound.fallbackReason,
+              round.fallbackReason);
+    EXPECT_EQ(decoded.daemonRound.guardSteps, round.guardSteps);
+    EXPECT_EQ(decoded.daemonRound.canaryProbe, round.canaryProbe);
+    EXPECT_EQ(decoded.daemonRound.safePinned, round.safePinned);
+}
+
+TEST(LedgerCodec, SupervisorCheckpointRoundTripsBitExact)
+{
+    const SupervisorCheckpoint state = makeCheckpoint(5);
+    LedgerRecord decoded;
+    ASSERT_TRUE(decodeLedgerRecord(
+        encodeSupervisorCheckpoint(state), decoded));
+    ASSERT_EQ(decoded.kind, LedgerRecord::Kind::Supervisor);
+    const SupervisorCheckpoint &got = decoded.supervisor;
+    EXPECT_EQ(got.roundsCompleted, state.roundsCompleted);
+    EXPECT_EQ(got.legacyClampMv, state.legacyClampMv);
+    EXPECT_EQ(got.legacyStreak, state.legacyStreak);
+    EXPECT_EQ(got.watchdogResets, state.watchdogResets);
+    EXPECT_EQ(got.machineResponsive, state.machineResponsive);
+    EXPECT_EQ(got.hasSensorSample, state.hasSensorSample);
+    EXPECT_EQ(got.sensorSample, state.sensorSample);
+    EXPECT_EQ(got.telemetry.retries, state.telemetry.retries);
+    EXPECT_EQ(got.telemetry.backoffUsTotal,
+              state.telemetry.backoffUsTotal);
+    EXPECT_EQ(got.supervisorEnabled, state.supervisorEnabled);
+    EXPECT_EQ(got.guardSteps, state.guardSteps);
+    EXPECT_EQ(got.peakGuardSteps, state.peakGuardSteps);
+    EXPECT_EQ(got.cleanStreak, state.cleanStreak);
+    EXPECT_EQ(got.clampReason, state.clampReason);
+    EXPECT_EQ(got.backoffEvents, state.backoffEvents);
+    EXPECT_EQ(got.narrowEvents, state.narrowEvents);
+    EXPECT_EQ(got.quarantines, state.quarantines);
+    EXPECT_EQ(got.readmissions, state.readmissions);
+    EXPECT_EQ(got.canaryRounds, state.canaryRounds);
+    EXPECT_EQ(got.canaryFailures, state.canaryFailures);
+    EXPECT_EQ(got.pinnedRounds, state.pinnedRounds);
+    EXPECT_EQ(got.recentCrashRounds, state.recentCrashRounds);
+    ASSERT_EQ(got.cores.size(), 1u);
+    EXPECT_EQ(got.cores[0].core, state.cores[0].core);
+    EXPECT_EQ(got.cores[0].mode, state.cores[0].mode);
+    // Bit-exact rates are what make a restored supervisor take the
+    // same decisions as the uninterrupted one.
+    EXPECT_EQ(got.cores[0].ceRate, state.cores[0].ceRate);
+    EXPECT_EQ(got.cores[0].ueRate, state.cores[0].ueRate);
+    EXPECT_EQ(got.cores[0].sdcRate, state.cores[0].sdcRate);
+    EXPECT_EQ(got.cores[0].crashRate, state.cores[0].crashRate);
+    EXPECT_EQ(got.cores[0].ceEvents, state.cores[0].ceEvents);
+    EXPECT_EQ(got.cores[0].cleanInQuarantine,
+              state.cores[0].cleanInQuarantine);
+}
+
+TEST(RunLedger, DaemonRoundsSurviveReopen)
+{
+    const std::string path = "/tmp/vmargin_test_ledger_daemon";
+    std::remove(path.c_str());
+    {
+        RunLedger ledger(path, "test");
+        ledger.open("daemon-h");
+        for (int round = 0; round < 3; ++round)
+            ledger.appendDaemonRound(makeDaemonRound(round),
+                                     makeCheckpoint(round + 1));
+    }
+    RunLedger reopened(path, "test");
+    reopened.open("daemon-h");
+    ASSERT_EQ(reopened.daemonRounds().size(), 3u);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(reopened.daemonRounds()[round].round.round, round);
+        EXPECT_EQ(reopened.daemonRounds()[round].round.voltage,
+                  900 - 5 * round);
+        EXPECT_EQ(
+            reopened.daemonRounds()[round].state.roundsCompleted,
+            static_cast<uint32_t>(round + 1));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RunLedger, DaemonRoundWithoutCheckpointPoisonsTheTail)
+{
+    const std::string path = "/tmp/vmargin_test_ledger_orphan";
+    std::remove(path.c_str());
+    {
+        RunLedger ledger(path, "test");
+        ledger.open("daemon-h");
+        ledger.appendDaemonRound(makeDaemonRound(0),
+                                 makeCheckpoint(1));
+    }
+    {
+        // A kill between the round frame and its checkpoint: the
+        // orphan round — and any daemon frames after it — must be
+        // discarded, even a well-formed later pair.
+        std::string bytes;
+        appendFrame(bytes, encodeDaemonRound(makeDaemonRound(1)));
+        appendFrame(bytes, encodeDaemonRound(makeDaemonRound(2)));
+        appendFrame(bytes,
+                    encodeSupervisorCheckpoint(makeCheckpoint(3)));
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << bytes;
+    }
+    RunLedger reopened(path, "test");
+    reopened.open("daemon-h");
+    ASSERT_EQ(reopened.daemonRounds().size(), 1u)
+        << "only the committed round survives";
+    EXPECT_EQ(reopened.daemonRounds()[0].round.round, 0);
+    std::remove(path.c_str());
+}
+
+TEST(RunLedger, OutOfSequenceDaemonRoundPoisonsTheTail)
+{
+    const std::string path = "/tmp/vmargin_test_ledger_seq";
+    std::remove(path.c_str());
+    {
+        RunLedger ledger(path, "test");
+        ledger.open("daemon-h");
+        ledger.appendDaemonRound(makeDaemonRound(0),
+                                 makeCheckpoint(1));
+        ledger.appendDaemonRound(makeDaemonRound(1),
+                                 makeCheckpoint(2));
+    }
+    {
+        // Round 3 with round 2 missing: resuming past the hole
+        // would continue a wrong trajectory.
+        std::string bytes;
+        appendFrame(bytes, encodeDaemonRound(makeDaemonRound(3)));
+        appendFrame(bytes,
+                    encodeSupervisorCheckpoint(makeCheckpoint(4)));
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << bytes;
+    }
+    RunLedger reopened(path, "test");
+    reopened.open("daemon-h");
+    ASSERT_EQ(reopened.daemonRounds().size(), 2u);
+    EXPECT_EQ(reopened.daemonRounds()[1].round.round, 1);
+    std::remove(path.c_str());
+}
+
+TEST(RunLedger, TruncatedDaemonCheckpointDiscardsItsRound)
+{
+    const std::string path = "/tmp/vmargin_test_ledger_dtrunc";
+    std::remove(path.c_str());
+    {
+        RunLedger ledger(path, "test");
+        ledger.open("daemon-h");
+        ledger.appendDaemonRound(makeDaemonRound(0),
+                                 makeCheckpoint(1));
+        ledger.appendDaemonRound(makeDaemonRound(1),
+                                 makeCheckpoint(2));
+    }
+    {
+        // Chop into the second checkpoint: its round loses the
+        // commit and must be re-run.
+        std::fstream file(path, std::ios::binary | std::ios::in |
+                                    std::ios::out | std::ios::ate);
+        const std::streamoff size = file.tellg();
+        std::filesystem::resize_file(
+            path, static_cast<uintmax_t>(size - 5));
+    }
+    RunLedger reopened(path, "test");
+    reopened.open("daemon-h");
+    ASSERT_EQ(reopened.daemonRounds().size(), 1u);
+    EXPECT_EQ(reopened.daemonRounds()[0].round.round, 0);
     std::remove(path.c_str());
 }
 

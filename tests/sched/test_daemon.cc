@@ -260,6 +260,46 @@ TEST(DaemonResilience, ServesEveryRoundUnderTotalNak)
     EXPECT_TRUE(platform.responsive());
 }
 
+TEST(DaemonResilience, FallbackReasonsAreCoded)
+{
+    sim::Platform platform(sim::XGene2Params{},
+                           sim::ChipCorner::TTT, 2);
+    sim::FaultPlanConfig plan;
+    plan.i2cWriteFailure = 1.0;
+    plan.seed = 21;
+    platform.installFaultPlan(plan);
+
+    GovernorDaemon daemon(&platform, VoltageGovernor{});
+    Profiler profiler(&platform);
+    daemon.registerProfile(
+        profiler.profile(wl::findWorkload("bwaves/ref"), 0, 8));
+
+    DaemonOptions options;
+    options.maxEpochs = 8;
+    const auto result =
+        daemon.run({{"bwaves/ref", 0}}, 5, 3, options);
+
+    // Every NAKed round must carry a machine-readable reason, and
+    // the result must break the fallback total down by it.
+    ASSERT_EQ(result.fallbackRounds, 5u);
+    EXPECT_EQ(result.fallbackRetriesExhausted, 5u);
+    EXPECT_EQ(result.fallbackMachineUnresponsive, 0u);
+    for (const auto &round : result.rounds)
+        EXPECT_EQ(static_cast<FallbackReason>(round.fallbackReason),
+                  FallbackReason::RetriesExhausted);
+
+    const std::string summary = formatDaemonSummary(result);
+    EXPECT_NE(summary.find("nominal fallbacks  : 5 "
+                           "(retries-exhausted 5, "
+                           "machine-unresponsive 0)"),
+              std::string::npos)
+        << summary;
+    const std::string report = formatDaemonReport(result);
+    EXPECT_NE(report.find("reason=retries-exhausted"),
+              std::string::npos)
+        << report;
+}
+
 TEST_F(DaemonTest, FatalOnMissingProfile)
 {
     GovernorDaemon daemon(platform_, trainedGovernor(0.0, 1));

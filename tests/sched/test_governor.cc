@@ -123,6 +123,35 @@ TEST(Governor, NeverBelowFloorOrAboveNominal)
     EXPECT_LE(high.decide({observe(0)}), 980);
 }
 
+TEST(GovernorDeath, ValidateCarriesTheOffendingValue)
+{
+    GovernorConfig negative_guard;
+    negative_guard.guardSteps = -2;
+    EXPECT_EXIT(VoltageGovernor{negative_guard},
+                ::testing::ExitedWithCode(1),
+                "guardSteps must be >= 0 \\(got -2\\)");
+
+    GovernorConfig bad_step;
+    bad_step.step = 0;
+    EXPECT_EXIT(VoltageGovernor{bad_step},
+                ::testing::ExitedWithCode(1),
+                "step must be positive \\(got 0 mV\\)");
+
+    GovernorConfig inverted;
+    inverted.floor = 990;
+    inverted.nominal = 980;
+    EXPECT_EXIT(VoltageGovernor{inverted},
+                ::testing::ExitedWithCode(1),
+                "floor above nominal \\(floor 990 mV > nominal "
+                "980 mV\\)");
+
+    GovernorConfig negative_tolerance;
+    negative_tolerance.severityTolerance = -1.0;
+    EXPECT_EXIT(VoltageGovernor{negative_tolerance},
+                ::testing::ExitedWithCode(1),
+                "severityTolerance must be >= 0 \\(got -1");
+}
+
 TEST(Governor, DeathOnUntrainedPredictor)
 {
     VoltageGovernor governor;
