@@ -108,7 +108,16 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << csv_path << '\n';
             return 1;
         }
-        out << report.toCsv();
+        const std::string csv = report.toCsv();
+        out.write(csv.data(),
+                  static_cast<std::streamsize>(csv.size()));
+        out.flush();
+        if (!out) {
+            std::cerr << "write to " << csv_path
+                      << " failed while emitting " << csv.size()
+                      << " bytes (disk full?)\n";
+            return 1;
+        }
         std::cout << "per-run CSV written to " << csv_path << '\n';
     }
     return 0;

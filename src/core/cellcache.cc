@@ -16,8 +16,9 @@ constexpr const char *kCacheHeader = "vmargin-cellcache";
 
 } // namespace
 
-CellResultCache::CellResultCache(std::string path)
-    : ledger_(std::move(path), "cellcache")
+CellResultCache::CellResultCache(std::string path,
+                                 LedgerWriteOptions options)
+    : ledger_(std::move(path), "cellcache", options)
 {
 }
 
@@ -40,6 +41,12 @@ void
 CellResultCache::put(Seed config_hash, const CellMeasurement &cell)
 {
     ledger_.append(config_hash, cell);
+}
+
+void
+CellResultCache::flush()
+{
+    ledger_.flush();
 }
 
 size_t

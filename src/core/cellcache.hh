@@ -32,7 +32,10 @@ namespace vmargin
 class CellResultCache
 {
   public:
-    explicit CellResultCache(std::string path);
+    /** @param options group-commit policy (default: flush every
+     *  put, the historical contract). */
+    explicit CellResultCache(std::string path,
+                             LedgerWriteOptions options = {});
 
     /**
      * Load existing entries. A missing file is an empty cache; a
@@ -54,12 +57,16 @@ class CellResultCache
                                 CoreId core) const;
 
     /**
-     * Append a finished cell under @p config_hash and flush. Safe to
-     * call concurrently from executor workers. A duplicate key
-     * (already cached) is ignored — first write wins, matching the
-     * journal's merge-on-resume rule.
+     * Append a finished cell under @p config_hash; the group-commit
+     * policy decides when the bytes are flushed (the default flushes
+     * per put). Safe to call concurrently from executor workers. A
+     * duplicate key (already cached) is ignored — first write wins,
+     * matching the journal's merge-on-resume rule.
      */
     void put(Seed config_hash, const CellMeasurement &cell);
+
+    /** Drain any batched puts to the OS (durability barrier). */
+    void flush();
 
     /** Number of cached cells across all configuration hashes. */
     size_t size() const;

@@ -86,17 +86,21 @@ CampaignExecutor::run(const FrameworkConfig &config)
     report.corner = prototype_->chip().corner();
     report.frequency = config.frequency;
 
+    // The flush knobs shape durability, never measurements — they
+    // are deliberately absent from journalHeaderFor/cellConfigHash,
+    // so a journal written under one policy resumes under another.
     std::unique_ptr<CampaignJournal> journal;
     if (!config.journalPath.empty()) {
-        journal =
-            std::make_unique<CampaignJournal>(config.journalPath);
+        journal = std::make_unique<CampaignJournal>(
+            config.journalPath, config.writeOptions());
         journal->open(journalHeaderFor(config, *prototype_));
     }
 
     std::unique_ptr<CellResultCache> cache;
     Seed config_hash = 0;
     if (!config.cachePath.empty()) {
-        cache = std::make_unique<CellResultCache>(config.cachePath);
+        cache = std::make_unique<CellResultCache>(
+            config.cachePath, config.writeOptions());
         cache->open();
         config_hash = cellConfigHash(config, *prototype_);
     }
@@ -166,6 +170,13 @@ CampaignExecutor::run(const FrameworkConfig &config)
             });
         }
         pool.wait();
+        // Merge barrier doubles as the durability barrier: a batched
+        // group-commit policy drains here, so everything measured
+        // this session is on disk before the report is assembled.
+        if (journal)
+            journal->flush();
+        if (cache)
+            cache->flush();
     }
 
     // ---- merge: canonical order, independent of completion ------
@@ -206,6 +217,11 @@ CampaignExecutor::run(const FrameworkConfig &config)
             cell_measured.watchdogInterventions;
         report.telemetry.merge(cell_measured.telemetry);
     }
+    // Derive the per-cell analyses across the same worker budget the
+    // sweep ran on; cellResults() then reads the memoized analyses
+    // back in canonical order, so the report bytes are identical for
+    // any worker count (including the serial path).
+    view.deriveAll(config.workers);
     report.cells = view.cellResults();
 
     return report;

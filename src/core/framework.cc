@@ -58,6 +58,10 @@ FrameworkConfig::fromConfig(const util::ConfigFile &file)
     config.workers =
         static_cast<int>(file.getInt("workers", config.workers));
     config.cachePath = file.get("cache", config.cachePath);
+    config.flushEveryCells = static_cast<int>(file.getInt(
+        "flush_every_cells", config.flushEveryCells));
+    config.flushIntervalMs = static_cast<int>(file.getInt(
+        "flush_interval_ms", config.flushIntervalMs));
     config.validate();
     return config;
 }
@@ -98,6 +102,14 @@ FrameworkConfig::validate() const
     if (workers < 0)
         util::fatalError("framework: workers must be >= 0 (got " +
                          std::to_string(workers) + ")");
+    if (flushEveryCells < 1)
+        util::fatalError(
+            "framework: flush_every_cells must be >= 1 (got " +
+            std::to_string(flushEveryCells) + ")");
+    if (flushIntervalMs < 0)
+        util::fatalError(
+            "framework: flush_interval_ms must be >= 0 (got " +
+            std::to_string(flushIntervalMs) + ")");
     retryPolicy.validate();
     weights.validate();
     for (const auto &workload : workloads)

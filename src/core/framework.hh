@@ -72,6 +72,35 @@ struct FrameworkConfig
      */
     std::string cachePath;
 
+    /**
+     * Group-commit policy for the journal and the cache: flush after
+     * this many appended cells (config key flush_every_cells). 1 —
+     * the default — is the historical write-ahead contract, one
+     * flush per cell; raising it batches appends and a kill loses at
+     * most the unflushed batch, which resume re-runs. The executor
+     * drains the batch at its merge barrier and on shutdown, and
+     * these knobs never enter the journal header or the cache key —
+     * they shape durability, not measurements.
+     */
+    int flushEveryCells = 1;
+
+    /**
+     * Also flush a non-empty batch once this many milliseconds have
+     * passed since the last flush (config key flush_interval_ms;
+     * 0 = no time trigger). Bounds how stale the buffered tail may
+     * grow under a slow producer.
+     */
+    int flushIntervalMs = 0;
+
+    /** Ledger write options assembled from the flush knobs. */
+    LedgerWriteOptions writeOptions() const
+    {
+        LedgerWriteOptions options;
+        options.flushEveryCells = flushEveryCells;
+        options.flushIntervalMs = flushIntervalMs;
+        return options;
+    }
+
     /** Basic validation; fatal on an unusable configuration. */
     void validate() const;
 
@@ -81,7 +110,8 @@ struct FrameworkConfig
      * workloads (list of benchmark ids, default: headline suite),
      * cores (list, default 0-7), frequency_mhz, start_mv, end_mv,
      * campaigns, runs_per_voltage, max_epochs, journal, cell_budget,
-     * workers, cache. Fatal on unusable values.
+     * workers, cache, flush_every_cells, flush_interval_ms. Fatal on
+     * unusable values.
      */
     static FrameworkConfig fromConfig(const util::ConfigFile &file);
 };

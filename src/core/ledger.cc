@@ -1,11 +1,22 @@
 #include "ledger.hh"
 
 #include <bit>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#if __has_include(<sys/mman.h>)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define VMARGIN_LEDGER_HAVE_MMAP 1
+#endif
+
 #include "severity.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace vmargin
 {
@@ -194,43 +205,79 @@ appendFrame(std::string &out, std::string_view payload)
     out.append(payload);
 }
 
+FrameCursor::Status
+FrameCursor::next(std::string_view &payload, uint32_t &checksum)
+{
+    constexpr size_t kPrefixBytes = 8; ///< u32 length + u32 checksum
+    if (pos_ >= bytes_.size())
+        return Status::End;
+    if (bytes_.size() - pos_ < kPrefixBytes)
+        return Status::Truncated;
+    uint32_t length = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        length |= static_cast<uint32_t>(static_cast<unsigned char>(
+                      bytes_[pos_ + static_cast<size_t>(shift / 8)]))
+                  << shift;
+    checksum = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        checksum |=
+            static_cast<uint32_t>(static_cast<unsigned char>(
+                bytes_[pos_ + 4 + static_cast<size_t>(shift / 8)]))
+            << shift;
+    if (bytes_.size() - pos_ - kPrefixBytes < length)
+        return Status::Truncated;
+    payload = bytes_.substr(pos_ + kPrefixBytes, length);
+    pos_ += kPrefixBytes + length;
+    return Status::Frame;
+}
+
+void
+encodeRunRecordInto(std::string &out, const RunRecord &record)
+{
+    out.push_back(static_cast<char>(LedgerRecord::Kind::Run));
+    putString(out, record.key.workloadId);
+    putU32(out, static_cast<uint32_t>(record.key.core));
+    putU32(out, static_cast<uint32_t>(record.key.voltage));
+    putU32(out, static_cast<uint32_t>(record.key.frequency));
+    putU32(out, record.key.campaign);
+    putU32(out, record.key.runIndex);
+    putString(out, record.effects.toString());
+    putU64(out, record.sdcEvents);
+    putU64(out, record.correctedErrors);
+    putU64(out, record.uncorrectedErrors);
+    putU32(out, static_cast<uint32_t>(record.exitCode));
+    putF64(out, record.seconds);
+    putF64(out, record.avgIpc);
+    putF64(out, record.activityFactor);
+    putSiteCounts(out, record.correctedBySite);
+    putSiteCounts(out, record.uncorrectedBySite);
+}
+
 std::string
 encodeRunRecord(const RunRecord &record)
 {
     std::string payload;
-    payload.push_back(
-        static_cast<char>(LedgerRecord::Kind::Run));
-    putString(payload, record.key.workloadId);
-    putU32(payload, static_cast<uint32_t>(record.key.core));
-    putU32(payload, static_cast<uint32_t>(record.key.voltage));
-    putU32(payload, static_cast<uint32_t>(record.key.frequency));
-    putU32(payload, record.key.campaign);
-    putU32(payload, record.key.runIndex);
-    putString(payload, record.effects.toString());
-    putU64(payload, record.sdcEvents);
-    putU64(payload, record.correctedErrors);
-    putU64(payload, record.uncorrectedErrors);
-    putU32(payload, static_cast<uint32_t>(record.exitCode));
-    putF64(payload, record.seconds);
-    putF64(payload, record.avgIpc);
-    putF64(payload, record.activityFactor);
-    putSiteCounts(payload, record.correctedBySite);
-    putSiteCounts(payload, record.uncorrectedBySite);
+    encodeRunRecordInto(payload, record);
     return payload;
+}
+
+void
+encodeCellCommitInto(std::string &out, const CellCommit &commit)
+{
+    out.push_back(static_cast<char>(LedgerRecord::Kind::Commit));
+    putU64(out, commit.configHash);
+    putString(out, commit.workloadId);
+    putU32(out, static_cast<uint32_t>(commit.core));
+    putU32(out, commit.runCount);
+    putU64(out, commit.watchdogInterventions);
+    putTelemetry(out, commit.telemetry);
 }
 
 std::string
 encodeCellCommit(const CellCommit &commit)
 {
     std::string payload;
-    payload.push_back(
-        static_cast<char>(LedgerRecord::Kind::Commit));
-    putU64(payload, commit.configHash);
-    putString(payload, commit.workloadId);
-    putU32(payload, static_cast<uint32_t>(commit.core));
-    putU32(payload, commit.runCount);
-    putU64(payload, commit.watchdogInterventions);
-    putTelemetry(payload, commit.telemetry);
+    encodeCellCommitInto(payload, commit);
     return payload;
 }
 
@@ -246,10 +293,10 @@ constexpr uint8_t kRoundPinned = 1u << 4;
 
 } // namespace
 
-std::string
-encodeDaemonRound(const DaemonRoundRecord &record)
+void
+encodeDaemonRoundInto(std::string &payload,
+                      const DaemonRoundRecord &record)
 {
-    std::string payload;
     payload.push_back(
         static_cast<char>(LedgerRecord::Kind::DaemonRound));
     putU32(payload, static_cast<uint32_t>(record.round));
@@ -266,13 +313,20 @@ encodeDaemonRound(const DaemonRoundRecord &record)
     payload.push_back(static_cast<char>(record.fallbackReason));
     putU32(payload, static_cast<uint32_t>(record.reexecutions));
     putU32(payload, static_cast<uint32_t>(record.guardSteps));
-    return payload;
 }
 
 std::string
-encodeSupervisorCheckpoint(const SupervisorCheckpoint &state)
+encodeDaemonRound(const DaemonRoundRecord &record)
 {
     std::string payload;
+    encodeDaemonRoundInto(payload, record);
+    return payload;
+}
+
+void
+encodeSupervisorCheckpointInto(std::string &payload,
+                               const SupervisorCheckpoint &state)
+{
     payload.push_back(
         static_cast<char>(LedgerRecord::Kind::Supervisor));
     putU32(payload, state.roundsCompleted);
@@ -316,8 +370,125 @@ encodeSupervisorCheckpoint(const SupervisorCheckpoint &state)
         putU64(payload, core.crashEvents);
         putU32(payload, core.cleanInQuarantine);
     }
+}
+
+std::string
+encodeSupervisorCheckpoint(const SupervisorCheckpoint &state)
+{
+    std::string payload;
+    encodeSupervisorCheckpointInto(payload, state);
     return payload;
 }
+
+namespace
+{
+
+// Per-kind decode bodies, positioned after the kind byte. The bulk
+// replay path decodes directly into its target structs through these
+// instead of materializing a fat LedgerRecord (which drags a full
+// SupervisorCheckpoint — two vectors — through every frame).
+
+bool
+readRunRecord(PayloadReader &reader, RunRecord &run)
+{
+    run.key.workloadId = reader.str();
+    run.key.core = static_cast<CoreId>(reader.u32());
+    run.key.voltage = static_cast<MilliVolt>(reader.u32());
+    run.key.frequency = static_cast<MegaHertz>(reader.u32());
+    run.key.campaign = reader.u32();
+    run.key.runIndex = reader.u32();
+    run.effects = EffectSet::fromString(reader.str());
+    run.sdcEvents = reader.u64();
+    run.correctedErrors = reader.u64();
+    run.uncorrectedErrors = reader.u64();
+    run.exitCode = static_cast<int>(reader.u32());
+    run.seconds = reader.f64();
+    run.avgIpc = reader.f64();
+    run.activityFactor = reader.f64();
+    run.correctedBySite = reader.siteCounts();
+    run.uncorrectedBySite = reader.siteCounts();
+    return reader.ok();
+}
+
+bool
+readCellCommit(PayloadReader &reader, CellCommit &commit)
+{
+    commit.configHash = reader.u64();
+    commit.workloadId = reader.str();
+    commit.core = static_cast<CoreId>(reader.u32());
+    commit.runCount = reader.u32();
+    commit.watchdogInterventions = reader.u64();
+    commit.telemetry = readTelemetry(reader);
+    return reader.ok();
+}
+
+bool
+readDaemonRound(PayloadReader &reader, DaemonRoundRecord &round)
+{
+    round.round = static_cast<int>(reader.u32());
+    round.voltage = static_cast<MilliVolt>(reader.u32());
+    round.energyJoule = reader.f64();
+    round.nominalJoule = reader.f64();
+    const uint8_t flags = reader.u8();
+    round.anyAbnormal = (flags & kRoundAbnormal) != 0;
+    round.crashed = (flags & kRoundCrashed) != 0;
+    round.nominalFallback = (flags & kRoundFallback) != 0;
+    round.canaryProbe = (flags & kRoundCanary) != 0;
+    round.safePinned = (flags & kRoundPinned) != 0;
+    round.fallbackReason = reader.u8();
+    round.reexecutions = static_cast<int>(reader.u32());
+    round.guardSteps = static_cast<int>(reader.u32());
+    return reader.ok();
+}
+
+bool
+readSupervisorCheckpoint(PayloadReader &reader,
+                         SupervisorCheckpoint &state)
+{
+    state.roundsCompleted = reader.u32();
+    state.legacyClampMv = static_cast<MilliVolt>(reader.u32());
+    state.legacyStreak = reader.u32();
+    state.watchdogResets = reader.u64();
+    state.machineResponsive = reader.u8() != 0;
+    state.hasSensorSample = reader.u8() != 0;
+    state.sensorSample = reader.f64();
+    state.telemetry = readTelemetry(reader);
+    state.supervisorEnabled = reader.u8() != 0;
+    state.guardSteps = static_cast<int32_t>(reader.u32());
+    state.peakGuardSteps = static_cast<int32_t>(reader.u32());
+    state.cleanStreak = reader.u32();
+    state.clampReason = reader.u8();
+    state.backoffEvents = reader.u64();
+    state.narrowEvents = reader.u64();
+    state.quarantines = reader.u64();
+    state.readmissions = reader.u64();
+    state.canaryRounds = reader.u64();
+    state.canaryFailures = reader.u64();
+    state.pinnedRounds = reader.u64();
+    const uint32_t crashes = reader.u32();
+    for (uint32_t i = 0; i < crashes && reader.ok(); ++i)
+        state.recentCrashRounds.push_back(reader.u32());
+    const uint32_t cores = reader.u32();
+    for (uint32_t i = 0; i < cores && reader.ok(); ++i) {
+        SupervisorCheckpoint::CoreState core;
+        core.core = reader.u32();
+        core.mode = reader.u8();
+        core.ceRate = reader.f64();
+        core.ueRate = reader.f64();
+        core.sdcRate = reader.f64();
+        core.crashRate = reader.f64();
+        core.ceEvents = reader.u64();
+        core.ueEvents = reader.u64();
+        core.sdcEvents = reader.u64();
+        core.crashEvents = reader.u64();
+        core.cleanInQuarantine = reader.u32();
+        if (reader.ok())
+            state.cores.push_back(core);
+    }
+    return reader.ok();
+}
+
+} // namespace
 
 bool
 decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
@@ -325,105 +496,22 @@ decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
     PayloadReader reader(payload);
     const auto kind = static_cast<LedgerRecord::Kind>(reader.u8());
     switch (kind) {
-      case LedgerRecord::Kind::Run: {
+      case LedgerRecord::Kind::Run:
         record.kind = LedgerRecord::Kind::Run;
-        RunRecord &run = record.run;
-        run = RunRecord{};
-        run.key.workloadId = reader.str();
-        run.key.core = static_cast<CoreId>(reader.u32());
-        run.key.voltage = static_cast<MilliVolt>(reader.u32());
-        run.key.frequency = static_cast<MegaHertz>(reader.u32());
-        run.key.campaign = reader.u32();
-        run.key.runIndex = reader.u32();
-        run.effects = EffectSet::fromString(reader.str());
-        run.sdcEvents = reader.u64();
-        run.correctedErrors = reader.u64();
-        run.uncorrectedErrors = reader.u64();
-        run.exitCode = static_cast<int>(reader.u32());
-        run.seconds = reader.f64();
-        run.avgIpc = reader.f64();
-        run.activityFactor = reader.f64();
-        run.correctedBySite = reader.siteCounts();
-        run.uncorrectedBySite = reader.siteCounts();
-        return reader.ok();
-      }
-      case LedgerRecord::Kind::Commit: {
+        record.run = RunRecord{};
+        return readRunRecord(reader, record.run);
+      case LedgerRecord::Kind::Commit:
         record.kind = LedgerRecord::Kind::Commit;
-        CellCommit &commit = record.commit;
-        commit = CellCommit{};
-        commit.configHash = reader.u64();
-        commit.workloadId = reader.str();
-        commit.core = static_cast<CoreId>(reader.u32());
-        commit.runCount = reader.u32();
-        commit.watchdogInterventions = reader.u64();
-        commit.telemetry = readTelemetry(reader);
-        return reader.ok();
-      }
-      case LedgerRecord::Kind::DaemonRound: {
+        record.commit = CellCommit{};
+        return readCellCommit(reader, record.commit);
+      case LedgerRecord::Kind::DaemonRound:
         record.kind = LedgerRecord::Kind::DaemonRound;
-        DaemonRoundRecord &round = record.daemonRound;
-        round = DaemonRoundRecord{};
-        round.round = static_cast<int>(reader.u32());
-        round.voltage = static_cast<MilliVolt>(reader.u32());
-        round.energyJoule = reader.f64();
-        round.nominalJoule = reader.f64();
-        const uint8_t flags = reader.u8();
-        round.anyAbnormal = (flags & kRoundAbnormal) != 0;
-        round.crashed = (flags & kRoundCrashed) != 0;
-        round.nominalFallback = (flags & kRoundFallback) != 0;
-        round.canaryProbe = (flags & kRoundCanary) != 0;
-        round.safePinned = (flags & kRoundPinned) != 0;
-        round.fallbackReason = reader.u8();
-        round.reexecutions = static_cast<int>(reader.u32());
-        round.guardSteps = static_cast<int>(reader.u32());
-        return reader.ok();
-      }
-      case LedgerRecord::Kind::Supervisor: {
+        record.daemonRound = DaemonRoundRecord{};
+        return readDaemonRound(reader, record.daemonRound);
+      case LedgerRecord::Kind::Supervisor:
         record.kind = LedgerRecord::Kind::Supervisor;
-        SupervisorCheckpoint &state = record.supervisor;
-        state = SupervisorCheckpoint{};
-        state.roundsCompleted = reader.u32();
-        state.legacyClampMv = static_cast<MilliVolt>(reader.u32());
-        state.legacyStreak = reader.u32();
-        state.watchdogResets = reader.u64();
-        state.machineResponsive = reader.u8() != 0;
-        state.hasSensorSample = reader.u8() != 0;
-        state.sensorSample = reader.f64();
-        state.telemetry = readTelemetry(reader);
-        state.supervisorEnabled = reader.u8() != 0;
-        state.guardSteps = static_cast<int32_t>(reader.u32());
-        state.peakGuardSteps = static_cast<int32_t>(reader.u32());
-        state.cleanStreak = reader.u32();
-        state.clampReason = reader.u8();
-        state.backoffEvents = reader.u64();
-        state.narrowEvents = reader.u64();
-        state.quarantines = reader.u64();
-        state.readmissions = reader.u64();
-        state.canaryRounds = reader.u64();
-        state.canaryFailures = reader.u64();
-        state.pinnedRounds = reader.u64();
-        const uint32_t crashes = reader.u32();
-        for (uint32_t i = 0; i < crashes && reader.ok(); ++i)
-            state.recentCrashRounds.push_back(reader.u32());
-        const uint32_t cores = reader.u32();
-        for (uint32_t i = 0; i < cores && reader.ok(); ++i) {
-            SupervisorCheckpoint::CoreState core;
-            core.core = reader.u32();
-            core.mode = reader.u8();
-            core.ceRate = reader.f64();
-            core.ueRate = reader.f64();
-            core.sdcRate = reader.f64();
-            core.crashRate = reader.f64();
-            core.ceEvents = reader.u64();
-            core.ueEvents = reader.u64();
-            core.sdcEvents = reader.u64();
-            core.crashEvents = reader.u64();
-            core.cleanInQuarantine = reader.u32();
-            if (reader.ok())
-                state.cores.push_back(core);
-        }
-        return reader.ok();
-      }
+        record.supervisor = SupervisorCheckpoint{};
+        return readSupervisorCheckpoint(reader, record.supervisor);
     }
     return false;
 }
@@ -446,13 +534,246 @@ encodeHeader(const std::string &app_header)
     return payload;
 }
 
+/**
+ * Bulk loader: the whole ledger file in one buffer. Large regular
+ * files are mmap()ed (the replay cursor then walks the page cache
+ * directly); small ones are read with one bulk read; non-regular
+ * files fall back to a portable stream read. load() returns false
+ * when the file cannot be opened — the fresh-ledger case.
+ */
+class LedgerFileBuffer
+{
+  public:
+    LedgerFileBuffer() = default;
+    ~LedgerFileBuffer() { release(); }
+    LedgerFileBuffer(const LedgerFileBuffer &) = delete;
+    LedgerFileBuffer &operator=(const LedgerFileBuffer &) = delete;
+
+    bool
+    load(const std::string &path)
+    {
+#ifdef VMARGIN_LEDGER_HAVE_MMAP
+        // A map only pays off past a few pages; below that one read
+        // into an owned buffer is cheaper than the mmap/munmap pair.
+        constexpr size_t kMmapThreshold = 256u * 1024u;
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st
+            {
+            };
+            if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+                const size_t size =
+                    static_cast<size_t>(st.st_size);
+                if (size >= kMmapThreshold) {
+                    void *map = ::mmap(nullptr, size, PROT_READ,
+                                       MAP_PRIVATE, fd, 0);
+                    ::close(fd);
+                    if (map != MAP_FAILED) {
+                        map_ = map;
+                        mapSize_ = size;
+                        bytes_ = std::string_view(
+                            static_cast<const char *>(map), size);
+                        return true;
+                    }
+                    // mmap refused; fall through to the stream read.
+                } else {
+                    owned_.resize(size);
+                    size_t off = 0;
+                    while (off < size) {
+                        const ssize_t got =
+                            ::read(fd, owned_.data() + off,
+                                   size - off);
+                        if (got <= 0)
+                            break; // shrank underneath us: replay
+                                   // treats the short tail as torn
+                        off += static_cast<size_t>(got);
+                    }
+                    ::close(fd);
+                    owned_.resize(off);
+                    bytes_ = owned_;
+                    return true;
+                }
+            } else {
+                ::close(fd); // pipe/device: portable path below
+            }
+        } else if (errno == ENOENT) {
+            return false;
+        }
+#endif
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        owned_ = std::move(buffer).str();
+        bytes_ = owned_;
+        return true;
+    }
+
+    std::string_view bytes() const { return bytes_; }
+
+  private:
+    void
+    release()
+    {
+#ifdef VMARGIN_LEDGER_HAVE_MMAP
+        if (map_ != nullptr) {
+            ::munmap(map_, mapSize_);
+            map_ = nullptr;
+            mapSize_ = 0;
+        }
+#endif
+    }
+
+    std::string owned_;
+    std::string_view bytes_;
+#ifdef VMARGIN_LEDGER_HAVE_MMAP
+    void *map_ = nullptr;
+    size_t mapSize_ = 0;
+#endif
+};
+
 } // namespace
 
-RunLedger::RunLedger(std::string path, std::string name)
+// ---- LedgerWriteOptions / LedgerWriter ---------------------------
+
+void
+LedgerWriteOptions::validate(const std::string &name) const
+{
+    if (flushEveryCells < 1)
+        util::fatalError(name + ": flushEveryCells must be >= 1, " +
+                         "got " + std::to_string(flushEveryCells));
+    if (flushIntervalMs < 0)
+        util::fatalError(name + ": flushIntervalMs must be >= 0, " +
+                         "got " + std::to_string(flushIntervalMs));
+}
+
+LedgerWriter::LedgerWriter(std::string path, std::string name)
     : path_(std::move(path)), name_(std::move(name))
+{
+}
+
+LedgerWriter::~LedgerWriter() { close(); }
+
+void
+LedgerWriter::create(std::string_view initial_bytes)
+{
+    close();
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr)
+        util::fatalError(name_ + ": cannot create '" + path_ +
+                         "': " + std::strerror(errno));
+    committedBytes_ = 0;
+    pending_.assign(initial_bytes.data(), initial_bytes.size());
+    pendingUnits_ = 0;
+    lastFlush_ = std::chrono::steady_clock::now();
+    flush(); // the binding header is durable before any record
+}
+
+void
+LedgerWriter::openAppend(uint64_t committed_bytes)
+{
+    close();
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr)
+        util::fatalError(name_ + ": cannot append to '" + path_ +
+                         "': " + std::strerror(errno));
+#ifdef VMARGIN_LEDGER_HAVE_MMAP
+    // Cut the torn tail a killed writer left behind so appended
+    // frames land on a frame boundary; replay already refused those
+    // bytes. (Append-mode writes go to the new end of file.)
+    struct stat st
+    {
+    };
+    if (::fstat(::fileno(file_), &st) == 0 && S_ISREG(st.st_mode) &&
+        static_cast<uint64_t>(st.st_size) > committed_bytes) {
+        if (::ftruncate(::fileno(file_),
+                        static_cast<off_t>(committed_bytes)) != 0)
+            util::fatalError(
+                name_ + ": cannot truncate '" + path_ +
+                "' to byte offset " +
+                std::to_string(committed_bytes) + ": " +
+                std::strerror(errno));
+    }
+#endif
+    committedBytes_ = committed_bytes;
+    pending_.clear();
+    pendingUnits_ = 0;
+    lastFlush_ = std::chrono::steady_clock::now();
+}
+
+void
+LedgerWriter::append(std::string_view bytes,
+                     const LedgerWriteOptions &options)
+{
+    if (file_ == nullptr)
+        util::fatalError(name_ + ": append to '" + path_ +
+                         "' before open");
+    pending_.append(bytes.data(), bytes.size());
+    ++pendingUnits_;
+    bool due = pendingUnits_ >=
+               static_cast<size_t>(options.flushEveryCells);
+    if (!due && options.flushIntervalMs > 0)
+        due = std::chrono::steady_clock::now() - lastFlush_ >=
+              std::chrono::milliseconds(options.flushIntervalMs);
+    if (due)
+        flush();
+}
+
+void
+LedgerWriter::flush()
+{
+    if (file_ == nullptr || pending_.empty())
+        return;
+    const size_t wrote =
+        std::fwrite(pending_.data(), 1, pending_.size(), file_);
+    if (wrote != pending_.size() || std::fflush(file_) != 0)
+        util::fatalError(name_ + ": write to '" + path_ +
+                         "' failed at byte offset " +
+                         std::to_string(committedBytes_ + wrote) +
+                         ": " + std::strerror(errno));
+    committedBytes_ += pending_.size();
+    pending_.clear();
+    pendingUnits_ = 0;
+    lastFlush_ = std::chrono::steady_clock::now();
+}
+
+void
+LedgerWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    flush();
+    std::FILE *file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0)
+        util::fatalError(name_ + ": close of '" + path_ +
+                         "' failed at byte offset " +
+                         std::to_string(committedBytes_) + ": " +
+                         std::strerror(errno));
+}
+
+RunLedger::RunLedger(std::string path, std::string name,
+                     LedgerWriteOptions options)
+    : path_(std::move(path)), name_(std::move(name)),
+      options_(options), writer_(path_, name_)
 {
     if (path_.empty())
         util::fatalError(name_ + ": empty path");
+    options_.validate(name_);
+}
+
+RunLedger::~RunLedger()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer_.close();
+}
+
+void
+RunLedger::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer_.flush();
 }
 
 void
@@ -460,38 +781,31 @@ RunLedger::open(const std::string &app_header,
                 const std::string &mismatch_hint)
 {
     entries_.clear();
+    byKey_.clear();
     daemonRounds_.clear();
+    writer_.close();
 
-    std::ifstream in(path_, std::ios::binary);
-    if (!in) {
+    LedgerFileBuffer file;
+    if (!file.load(path_)) {
         // Fresh ledger: create it with the magic and binding header.
-        std::ofstream out(path_, std::ios::binary);
-        if (!out)
-            util::fatalError(name_ + ": cannot create '" + path_ +
-                             "'");
         std::string bytes(kLedgerMagic, kMagicBytes);
         appendFrame(bytes, encodeHeader(app_header));
-        out << bytes;
+        writer_.create(bytes);
         return;
     }
-
-    std::string bytes;
-    {
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        bytes = buffer.str();
-    }
+    const std::string_view bytes = file.bytes();
 
     if (bytes.size() < kMagicBytes ||
         bytes.compare(0, kMagicBytes, kLedgerMagic, kMagicBytes) != 0)
         util::fatalError(name_ + ": '" + path_ +
                          "' is not a vmargin ledger file");
 
-    // Walk the frames. The header frame is mandatory and versioned;
+    // Walk the frames with the zero-copy cursor (payloads are views
+    // into the bulk buffer; nothing is copied until a record is
+    // accepted). The header frame is mandatory and versioned;
     // record frames tolerate corruption (skip) and truncation
     // (stop): the tail a killed process was writing is re-run, not
     // trusted.
-    size_t pos = kMagicBytes;
     bool saw_header = false;
     CellMeasurement pending;
     bool pending_corrupt = false;
@@ -521,33 +835,34 @@ RunLedger::open(const std::string &app_header,
     };
     resetPending();
 
-    while (pos < bytes.size()) {
-        if (bytes.size() - pos < kFramePrefixBytes) {
-            util::warnf(name_, ": '", path_,
-                        "' ends in a truncated frame prefix; "
-                        "discarding the tail");
+    // Byte offset one past the last *committed unit* (header frame,
+    // commit frame, accepted checkpoint). Everything after it —
+    // torn frames, but also complete-but-uncommitted record frames
+    // a killed batch left behind — is the untrusted tail the writer
+    // cuts before appending: run frames dangling without their
+    // commit would otherwise poison the next appended cell's run
+    // count on a later replay.
+    size_t committed = kMagicBytes;
+
+    FrameCursor cursor(bytes, kMagicBytes);
+    std::string_view payload;
+    uint32_t checksum = 0;
+    for (;;) {
+        const FrameCursor::Status status =
+            cursor.next(payload, checksum);
+        if (status == FrameCursor::Status::End)
+            break;
+        if (status == FrameCursor::Status::Truncated) {
+            if (bytes.size() - cursor.offset() < kFramePrefixBytes)
+                util::warnf(name_, ": '", path_,
+                            "' ends in a truncated frame prefix; "
+                            "discarding the tail");
+            else
+                util::warnf(name_, ": '", path_,
+                            "' ends in a truncated record; "
+                            "discarding the tail");
             break;
         }
-        uint32_t length = 0;
-        uint32_t checksum = 0;
-        for (int shift = 0; shift < 32; shift += 8)
-            length |= static_cast<uint32_t>(static_cast<unsigned char>(
-                          bytes[pos + static_cast<size_t>(shift / 8)]))
-                      << shift;
-        for (int shift = 0; shift < 32; shift += 8)
-            checksum |=
-                static_cast<uint32_t>(static_cast<unsigned char>(
-                    bytes[pos + 4 + static_cast<size_t>(shift / 8)]))
-                << shift;
-        pos += kFramePrefixBytes;
-        if (bytes.size() - pos < length) {
-            util::warnf(name_, ": '", path_,
-                        "' ends in a truncated record; discarding "
-                        "the tail");
-            break;
-        }
-        const std::string_view payload(bytes.data() + pos, length);
-        pos += length;
 
         if (!saw_header) {
             // First frame binds the file: framing version and the
@@ -574,6 +889,7 @@ RunLedger::open(const std::string &app_header,
                                             "header mismatch")
                                       : mismatch_hint));
             saw_header = true;
+            committed = cursor.offset();
             continue;
         }
 
@@ -589,80 +905,124 @@ RunLedger::open(const std::string &app_header,
             continue;
         }
 
-        LedgerRecord record;
-        if (!decodeLedgerRecord(payload, record)) {
+        // Decode straight into the destination slot through the
+        // per-kind readers: the replay hot path never materializes a
+        // LedgerRecord (whose SupervisorCheckpoint member would cost
+        // two vector constructions per frame).
+        const auto markMalformed = [&]() {
             util::warnf(name_, ": '", path_,
                         "' malformed record; skipping it");
             pending_corrupt = true;
             poisonDaemon("malformed record");
-            continue;
-        }
+        };
+        PayloadReader reader(payload);
+        const auto kind =
+            static_cast<LedgerRecord::Kind>(reader.u8());
 
-        if (record.kind == LedgerRecord::Kind::Run) {
+        if (kind == LedgerRecord::Kind::Run) {
+            RunRecord &run = pending.runs.emplace_back();
+            if (!readRunRecord(reader, run)) {
+                pending.runs.pop_back();
+                markMalformed();
+                continue;
+            }
             if (pending_records == 0)
-                pending.workloadId = record.run.key.workloadId;
-            pending.runs.push_back(std::move(record.run));
+                pending.workloadId = run.key.workloadId;
             ++pending_records;
             continue;
         }
 
-        if (record.kind == LedgerRecord::Kind::DaemonRound) {
+        if (kind == LedgerRecord::Kind::DaemonRound) {
+            DaemonRoundRecord round;
+            if (!readDaemonRound(reader, round)) {
+                markMalformed();
+                continue;
+            }
             if (daemon_poisoned)
                 continue;
             if (have_pending_round) {
                 poisonDaemon("daemon round without its checkpoint");
                 continue;
             }
-            if (record.daemonRound.round !=
+            if (round.round !=
                 static_cast<int>(daemonRounds_.size())) {
                 poisonDaemon("daemon round out of sequence");
                 continue;
             }
-            pending_round = record.daemonRound;
+            pending_round = round;
             have_pending_round = true;
             continue;
         }
 
-        if (record.kind == LedgerRecord::Kind::Supervisor) {
+        if (kind == LedgerRecord::Kind::Supervisor) {
+            SupervisorCheckpoint state;
+            if (!readSupervisorCheckpoint(reader, state)) {
+                markMalformed();
+                continue;
+            }
             if (daemon_poisoned)
                 continue;
             if (!have_pending_round ||
-                record.supervisor.roundsCompleted !=
+                state.roundsCompleted !=
                     static_cast<uint32_t>(pending_round.round) + 1) {
                 poisonDaemon(
                     "supervisor checkpoint out of sequence");
                 continue;
             }
-            daemonRounds_.push_back(DaemonRoundEntry{
-                pending_round, std::move(record.supervisor)});
+            daemonRounds_.push_back(
+                DaemonRoundEntry{pending_round, std::move(state)});
             have_pending_round = false;
+            committed = cursor.offset();
             continue;
         }
 
-        // Commit: accept the pending cell only when intact — the
-        // run count matches, nothing in between was corrupt, and
-        // the key is not already present (first occurrence wins;
-        // racing sessions may append the same cell twice).
-        const CellCommit &commit = record.commit;
-        const bool intact =
-            !pending_corrupt &&
-            pending.runs.size() == commit.runCount;
-        if (intact &&
-            !findLocked(commit.configHash, commit.workloadId,
-                        commit.core)) {
-            pending.workloadId = commit.workloadId;
-            pending.core = commit.core;
-            pending.watchdogInterventions =
-                commit.watchdogInterventions;
-            pending.telemetry = commit.telemetry;
-            entries_.push_back(
-                Entry{commit.configHash, std::move(pending)});
+        if (kind == LedgerRecord::Kind::Commit) {
+            // Commit: accept the pending cell only when intact —
+            // the run count matches, nothing in between was corrupt,
+            // and the key is not already present (first occurrence
+            // wins; racing sessions may append the same cell twice).
+            CellCommit commit;
+            if (!readCellCommit(reader, commit)) {
+                markMalformed();
+                continue;
+            }
+            const bool intact =
+                !pending_corrupt &&
+                pending.runs.size() == commit.runCount;
+            if (intact &&
+                !findLocked(commit.configHash, commit.workloadId,
+                            commit.core)) {
+                pending.workloadId = commit.workloadId;
+                pending.core = commit.core;
+                pending.watchdogInterventions =
+                    commit.watchdogInterventions;
+                pending.telemetry = commit.telemetry;
+                byKey_.emplace(
+                    std::make_tuple(commit.configHash,
+                                    commit.workloadId, commit.core),
+                    entries_.size());
+                entries_.push_back(
+                    Entry{commit.configHash, std::move(pending)});
+            }
+            resetPending();
+            // The unit ended here even when the cell was refused (a
+            // poisoned or duplicate cell is simply re-run); appended
+            // frames after this boundary stand on their own.
+            committed = cursor.offset();
+            continue;
         }
-        resetPending();
+
+        markMalformed(); // unknown record kind
     }
     if (!saw_header)
         util::fatalError(name_ + ": '" + path_ +
                          "' has no header frame");
+
+    // Keep the file open for the ledger's lifetime, positioned on
+    // the last committed-unit boundary (the torn tail and any
+    // dangling uncommitted frames are cut so appended frames
+    // realign the framing).
+    writer_.openAppend(committed);
 }
 
 const CellMeasurement *
@@ -670,12 +1030,11 @@ RunLedger::findLocked(Seed config_hash,
                       const std::string &workload_id,
                       CoreId core) const
 {
-    for (const auto &entry : entries_)
-        if (entry.configHash == config_hash &&
-            entry.cell.workloadId == workload_id &&
-            entry.cell.core == core)
-            return &entry.cell;
-    return nullptr;
+    const auto it = byKey_.find(
+        std::make_tuple(config_hash, workload_id, core));
+    if (it == byKey_.end())
+        return nullptr;
+    return &entries_[it->second].cell;
 }
 
 const CellMeasurement *
@@ -693,16 +1052,58 @@ RunLedger::size() const
     return entries_.size();
 }
 
+namespace
+{
+
+/**
+ * Per-thread scratch for record encoding: frames accumulates the
+ * framed commit unit, payload holds one record's payload before
+ * framing. thread_local so concurrent workers encode without
+ * contending, and the capacity survives across appends — steady
+ * state allocates nothing.
+ */
+struct EncodeScratch
+{
+    std::string frames;
+    std::string payload;
+
+    void
+    addFrame(const auto &record, auto encode_into)
+    {
+        payload.clear();
+        encode_into(payload, record);
+        appendFrame(frames, payload);
+    }
+};
+
+EncodeScratch &
+encodeScratch()
+{
+    thread_local EncodeScratch scratch;
+    scratch.frames.clear();
+    return scratch;
+}
+
+} // namespace
+
 void
 RunLedger::append(Seed config_hash, const CellMeasurement &cell)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (findLocked(config_hash, cell.workloadId, cell.core))
-        return; // first write wins
+    {
+        // Cheap racy pre-check: losing the race is handled by the
+        // re-check below; winning it skips the encode entirely.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (findLocked(config_hash, cell.workloadId, cell.core))
+            return; // first write wins
+    }
 
-    std::string bytes;
+    // Encode the whole commit unit — run frames plus the commit
+    // frame — outside the mutex into per-thread scratch. The
+    // critical section below is the duplicate re-check, one buffer
+    // append and the group-commit flush decision.
+    EncodeScratch &scratch = encodeScratch();
     for (const auto &run : cell.runs)
-        appendFrame(bytes, encodeRunRecord(run));
+        scratch.addFrame(run, encodeRunRecordInto);
     CellCommit commit;
     commit.configHash = config_hash;
     commit.workloadId = cell.workloadId;
@@ -710,39 +1111,33 @@ RunLedger::append(Seed config_hash, const CellMeasurement &cell)
     commit.runCount = static_cast<uint32_t>(cell.runs.size());
     commit.watchdogInterventions = cell.watchdogInterventions;
     commit.telemetry = cell.telemetry;
-    appendFrame(bytes, encodeCellCommit(commit));
+    scratch.addFrame(commit, encodeCellCommitInto);
 
-    std::ofstream out(path_, std::ios::binary | std::ios::app);
-    if (!out)
-        util::fatalError(name_ + ": cannot append to '" + path_ +
-                         "'");
-    out << bytes;
-    out.flush();
-    if (!out)
-        util::fatalError(name_ + ": write to '" + path_ +
-                         "' failed");
-    entries_.push_back(Entry{config_hash, cell});
+    Entry entry{config_hash, cell}; // deep copy outside the lock
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (findLocked(config_hash, cell.workloadId, cell.core))
+        return; // raced: the first writer's cell stands
+    writer_.append(scratch.frames, options_);
+    byKey_.emplace(
+        std::make_tuple(config_hash, cell.workloadId, cell.core),
+        entries_.size());
+    entries_.push_back(std::move(entry));
 }
 
 void
 RunLedger::appendDaemonRound(const DaemonRoundRecord &round,
                              const SupervisorCheckpoint &state)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::string bytes;
-    appendFrame(bytes, encodeDaemonRound(round));
-    appendFrame(bytes, encodeSupervisorCheckpoint(state));
+    EncodeScratch &scratch = encodeScratch();
+    scratch.addFrame(round, encodeDaemonRoundInto);
+    scratch.addFrame(state, encodeSupervisorCheckpointInto);
 
-    std::ofstream out(path_, std::ios::binary | std::ios::app);
-    if (!out)
-        util::fatalError(name_ + ": cannot append to '" + path_ +
-                         "'");
-    out << bytes;
-    out.flush();
-    if (!out)
-        util::fatalError(name_ + ": write to '" + path_ +
-                         "' failed");
-    daemonRounds_.push_back(DaemonRoundEntry{round, state});
+    DaemonRoundEntry entry{round, state};
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer_.append(scratch.frames, options_);
+    daemonRounds_.push_back(std::move(entry));
 }
 
 // ---- LedgerView --------------------------------------------------
@@ -873,6 +1268,24 @@ LedgerView::severityByVoltage(const std::string &workload_id,
         util::panicf("LedgerView: no records for ", workload_id,
                      " on core ", core);
     return cell->severityByVoltage;
+}
+
+void
+LedgerView::deriveAll(int workers) const
+{
+    std::vector<const Group *> todo;
+    todo.reserve(groups_.size());
+    for (const auto &group : groups_)
+        if (!group.analyzed)
+            todo.push_back(&group);
+    // Groups are independent: each task writes only its own group's
+    // memoized analysis, and analyze() is a pure function of the
+    // group's accumulated effects — so the derived views are
+    // identical for any worker count, and later analysis()/
+    // cellResults() calls are pure reads.
+    util::ThreadPool::parallelFor(
+        todo.size(), workers,
+        [&](size_t i) { analyze(*todo[i]); });
 }
 
 std::vector<CellResult>

@@ -37,11 +37,14 @@
 #ifndef VMARGIN_CORE_LEDGER_HH
 #define VMARGIN_CORE_LEDGER_HH
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "classifier.hh"
@@ -242,11 +245,142 @@ uint32_t ledgerChecksum(std::string_view payload);
 /** Append one frame (length + checksum + payload) to @p out. */
 void appendFrame(std::string &out, std::string_view payload);
 
+/**
+ * Encode records by appending the frame payload to @p out (no
+ * framing applied). The *Into forms let a hot writer reuse one
+ * scratch buffer across records instead of allocating a string per
+ * record; the value-returning forms below are conveniences over
+ * them.
+ */
+void encodeRunRecordInto(std::string &out, const RunRecord &record);
+void encodeCellCommitInto(std::string &out, const CellCommit &commit);
+void encodeDaemonRoundInto(std::string &out,
+                           const DaemonRoundRecord &record);
+void encodeSupervisorCheckpointInto(std::string &out,
+                                    const SupervisorCheckpoint &state);
+
 /** Encode records to frame payloads (no framing applied). */
 std::string encodeRunRecord(const RunRecord &record);
 std::string encodeCellCommit(const CellCommit &commit);
 std::string encodeDaemonRound(const DaemonRoundRecord &record);
 std::string encodeSupervisorCheckpoint(const SupervisorCheckpoint &state);
+
+/**
+ * Zero-copy cursor over the length-prefixed frames of a ledger
+ * byte range. next() yields each frame's payload as a view into the
+ * underlying buffer (no copy) plus its recorded checksum — the
+ * caller decides what a checksum mismatch means. A partial frame at
+ * the end of the range is reported as Truncated, the kill-tail case
+ * replay discards. offset() after a Frame result is the byte offset
+ * one past that frame — the frame boundaries a group-commit batch
+ * is torn at when a process dies mid-write.
+ */
+class FrameCursor
+{
+  public:
+    enum class Status : uint8_t
+    {
+        Frame,     ///< payload/checksum filled in
+        End,       ///< clean end of the byte range
+        Truncated, ///< partial frame prefix or payload at the tail
+    };
+
+    explicit FrameCursor(std::string_view bytes, size_t offset = 0)
+        : bytes_(bytes), pos_(offset)
+    {
+    }
+
+    /** Advance to the next frame. */
+    Status next(std::string_view &payload, uint32_t &checksum);
+
+    /** Byte offset of the next unread frame (= one past the last
+     *  frame returned). */
+    size_t offset() const { return pos_; }
+
+  private:
+    std::string_view bytes_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Group-commit policy of a ledger writer. The default preserves the
+ * historical durability contract: every appended commit unit (a
+ * cell's frames + commit, or a daemon round + checkpoint) is handed
+ * to the OS and flushed before append() returns. Raising
+ * flushEveryCells batches units in the writer's buffer and flushes
+ * once per batch — long campaigns trade a bounded, replay-tolerated
+ * kill-tail (at most the unflushed batch) for one write+flush per N
+ * cells. flushIntervalMs bounds how stale the buffered tail may
+ * grow under a slow producer; 0 disables the time trigger.
+ */
+struct LedgerWriteOptions
+{
+    /** Flush after this many buffered commit units (>= 1; 1 =
+     *  write-ahead flush per cell, the default). */
+    int flushEveryCells = 1;
+
+    /** Also flush when this many milliseconds passed since the last
+     *  flush (0 = no time trigger). */
+    int flushIntervalMs = 0;
+
+    /** Fatal (value-bearing) on an unusable policy. */
+    void validate(const std::string &name) const;
+};
+
+/**
+ * Buffered appender over one open ledger file. Owns the file handle
+ * for the ledger's whole lifetime — the historical writer reopened
+ * the file on every append, which dominated append cost — plus the
+ * pending group-commit buffer. Every write and flush is checked;
+ * failure (ENOSPC, EIO, ...) is fatal with the path and the byte
+ * offset the file is known good to. Not thread-safe on its own: the
+ * owning RunLedger serializes access.
+ */
+class LedgerWriter
+{
+  public:
+    LedgerWriter(std::string path, std::string name);
+    ~LedgerWriter();
+
+    LedgerWriter(const LedgerWriter &) = delete;
+    LedgerWriter &operator=(const LedgerWriter &) = delete;
+
+    /** Create the file and durably write @p initial_bytes (magic +
+     *  header frame). Fatal when the file cannot be created. */
+    void create(std::string_view initial_bytes);
+
+    /** Open an existing file for appending after @p committed_bytes
+     *  already-loaded bytes. Fatal when it cannot be opened. */
+    void openAppend(uint64_t committed_bytes);
+
+    /** Buffer one commit unit's frames and flush if the batch policy
+     *  says the group commit is due. */
+    void append(std::string_view bytes,
+                const LedgerWriteOptions &options);
+
+    /** Drain the pending batch to the OS (no-op when empty). */
+    void flush();
+
+    /** Close the handle (drains first). */
+    void close();
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /** Commit units buffered but not yet flushed. */
+    size_t pendingUnits() const { return pendingUnits_; }
+
+    /** Bytes known durably handed to the OS. */
+    uint64_t committedBytes() const { return committedBytes_; }
+
+  private:
+    std::string path_;
+    std::string name_;
+    std::FILE *file_ = nullptr;
+    std::string pending_;      ///< buffered, unflushed frame bytes
+    size_t pendingUnits_ = 0;  ///< commit units inside pending_
+    uint64_t committedBytes_ = 0;
+    std::chrono::steady_clock::time_point lastFlush_{};
+};
 
 /**
  * Decode one frame payload. Returns false on a malformed payload
@@ -261,11 +395,18 @@ bool decodeLedgerRecord(std::string_view payload,
  *
  * On disk: the 4-byte magic, a header frame (framing version + an
  * application binding header), then record frames. Cells are
- * appended atomically — all run frames plus the commit frame are
- * written and flushed under one lock (write-ahead semantics: a
- * killed process keeps every committed cell). Loading tolerates a
- * truncated tail (discarded with a warning), skips checksum-failed
- * frames, and refuses foreign files and version mismatches.
+ * appended atomically — all run frames plus the commit frame enter
+ * the writer as one unit, and the group-commit policy
+ * (LedgerWriteOptions) decides when units are written and flushed;
+ * the default flushes every unit (write-ahead semantics: a killed
+ * process keeps every committed cell, a batched policy loses at
+ * most the unflushed batch, which replay discards as a torn tail).
+ * Record encoding happens *outside* the mutex into reusable
+ * per-thread scratch buffers; the critical section is the duplicate
+ * check, the buffer append and the flush decision. Loading
+ * tolerates a truncated tail (discarded with a warning), skips
+ * checksum-failed frames, and refuses foreign files and version
+ * mismatches.
  *
  * Completed cells are keyed by (configHash, workload, core); the
  * first intact occurrence wins, so racing sessions appending the
@@ -278,17 +419,32 @@ class RunLedger
     /**
      * @param path ledger file
      * @param name message prefix ("journal", "cellcache", ...)
+     * @param options group-commit policy (default: flush per cell)
      */
-    RunLedger(std::string path, std::string name);
+    RunLedger(std::string path, std::string name,
+              LedgerWriteOptions options = {});
+
+    /** Drains any pending group-commit batch, then closes. */
+    ~RunLedger();
 
     /**
      * Bind to @p app_header: a fresh file is created with it, an
      * existing file must carry it verbatim (fatal otherwise, with
      * @p mismatch_hint appended to the error). Loads all committed
-     * cells. Not thread-safe; open before workers start.
+     * cells with one bulk read (mmap where available) and a
+     * zero-copy frame walk, then keeps the file open for appending.
+     * Not thread-safe; open before workers start.
      */
     void open(const std::string &app_header,
               const std::string &mismatch_hint = "");
+
+    /**
+     * Drain the writer's pending group-commit batch to the OS.
+     * Callers with a durability barrier (the executor's merge
+     * barrier, session shutdown) call this; with the default
+     * flush-per-cell policy it is a no-op.
+     */
+    void flush();
 
     /**
      * Committed measurement for the cell, or nullptr; entries
@@ -353,8 +509,15 @@ class RunLedger
 
     std::string path_;
     std::string name_;
-    mutable std::mutex mutex_; ///< guards entries_ and the file tail
+    LedgerWriteOptions options_;
+    mutable std::mutex mutex_; ///< guards entries_ and the writer
+    LedgerWriter writer_;
     std::vector<Entry> entries_;
+    /** (configHash, workload, core) -> entries_ index. The
+     *  historical writer scanned entries_ per lookup, which made
+     *  both replay and the per-append duplicate check quadratic in
+     *  the cell count. */
+    std::map<std::tuple<Seed, std::string, CoreId>, size_t> byKey_;
     std::vector<DaemonRoundEntry> daemonRounds_;
 };
 
@@ -405,6 +568,18 @@ class LedgerView
     const std::map<MilliVolt, double> &
     severityByVoltage(const std::string &workload_id,
                       CoreId core) const;
+
+    /**
+     * Derive every not-yet-analyzed cell's region analysis across
+     * @p workers threads (0 = hardware concurrency, <= 1 or fewer
+     * than two pending cells = inline serial). Per-cell derivation
+     * is independent — each task writes only its own group's
+     * memoized analysis — and results are read back in canonical
+     * first-seen order, so the derived views are identical for any
+     * worker count. analysis()/cellResults() after deriveAll() are
+     * pure reads.
+     */
+    void deriveAll(int workers = 0) const;
 
     /** All cells' results in first-seen order. */
     std::vector<CellResult> cellResults() const;

@@ -166,10 +166,20 @@ void
 saveReport(const CharacterizationReport &report,
            const std::string &path)
 {
-    std::ofstream out(path);
+    const std::string text = serializeReport(report);
+    std::ofstream out(path, std::ios::binary);
     if (!out)
         util::fatalError("cannot write report to '" + path + "'");
-    out << serializeReport(report);
+    out.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out)
+        // ENOSPC/EIO surface here, not in the destructor where the
+        // historical code silently dropped them.
+        util::fatalError("report: write to '" + path +
+                         "' failed while emitting " +
+                         std::to_string(text.size()) +
+                         " bytes (disk full?)");
 }
 
 CharacterizationReport
@@ -263,8 +273,9 @@ journalHeaderFor(const FrameworkConfig &config,
     return os.str();
 }
 
-CampaignJournal::CampaignJournal(std::string path)
-    : ledger_(std::move(path), "journal")
+CampaignJournal::CampaignJournal(std::string path,
+                                 LedgerWriteOptions options)
+    : ledger_(std::move(path), "journal", options)
 {
 }
 
@@ -302,8 +313,15 @@ CampaignJournal::append(const CellMeasurement &cell)
     ledger_.append(0, cell);
 }
 
-DaemonJournal::DaemonJournal(std::string path)
-    : ledger_(std::move(path), "daemon-journal")
+void
+CampaignJournal::flush()
+{
+    ledger_.flush();
+}
+
+DaemonJournal::DaemonJournal(std::string path,
+                             LedgerWriteOptions options)
+    : ledger_(std::move(path), "daemon-journal", options)
 {
 }
 
@@ -320,6 +338,12 @@ DaemonJournal::append(const DaemonRoundRecord &round,
                       const SupervisorCheckpoint &state)
 {
     ledger_.appendDaemonRound(round, state);
+}
+
+void
+DaemonJournal::flush()
+{
+    ledger_.flush();
 }
 
 } // namespace vmargin

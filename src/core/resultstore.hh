@@ -94,7 +94,10 @@ Seed cellConfigHash(const FrameworkConfig &config,
 class CampaignJournal
 {
   public:
-    explicit CampaignJournal(std::string path);
+    /** @param options group-commit policy (default: flush every
+     *  appended cell, the historical write-ahead contract). */
+    explicit CampaignJournal(std::string path,
+                             LedgerWriteOptions options = {});
 
     /**
      * Bind to @p header: a fresh file gets it written, an existing
@@ -113,11 +116,15 @@ class CampaignJournal
                                 CoreId core) const;
 
     /**
-     * Append a finished cell and flush (write-ahead semantics).
-     * Safe to call concurrently from executor workers; entries land
-     * in completion order.
+     * Append a finished cell; the group-commit policy decides when
+     * the bytes are flushed (the default flushes per cell). Safe to
+     * call concurrently from executor workers; entries land in
+     * completion order.
      */
     void append(const CellMeasurement &cell);
+
+    /** Drain any batched appends to the OS (durability barrier). */
+    void flush();
 
     /** Number of completed cells on record. */
     size_t size() const;
@@ -152,7 +159,11 @@ class CampaignJournal
 class DaemonJournal
 {
   public:
-    explicit DaemonJournal(std::string path);
+    /** @param options group-commit policy; the daemon keeps the
+     *  default (checkpoint flushed per round) so a watchdog power
+     *  cycle never loses a served round. */
+    explicit DaemonJournal(std::string path,
+                           LedgerWriteOptions options = {});
 
     /** Bind to @p header and load the committed rounds. Fatal when
      *  the file was recorded for a different daemon session. */
@@ -164,9 +175,12 @@ class DaemonJournal
         return ledger_.daemonRounds();
     }
 
-    /** Append one round plus its checkpoint and flush. */
+    /** Append one round plus its checkpoint as one commit unit. */
     void append(const DaemonRoundRecord &round,
                 const SupervisorCheckpoint &state);
+
+    /** Drain any batched appends to the OS (durability barrier). */
+    void flush();
 
     const std::string &path() const { return ledger_.path(); }
 

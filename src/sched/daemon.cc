@@ -302,6 +302,10 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
     if (options.roundBudget < 0)
         util::fatalError("daemon: roundBudget must be >= 0 (got " +
                          std::to_string(options.roundBudget) + ")");
+    if (options.flushEveryRounds < 1)
+        util::fatalError(
+            "daemon: flushEveryRounds must be >= 1 (got " +
+            std::to_string(options.flushEveryRounds) + ")");
 
     managed_.setPolicy(options.retry);
 
@@ -343,7 +347,9 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
 
     std::optional<DaemonJournal> journal;
     if (!options.journalPath.empty()) {
-        journal.emplace(options.journalPath);
+        LedgerWriteOptions write_options;
+        write_options.flushEveryCells = options.flushEveryRounds;
+        journal.emplace(options.journalPath, write_options);
         journal->open(daemonJournalHeader(*platform_,
                                           governor_.config(),
                                           placements, rounds, seed,
@@ -562,6 +568,12 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
             journal->append(record, ck);
         }
     }
+
+    // Session durability barrier: a batched flushEveryRounds policy
+    // drains here, so run() never returns with served rounds only in
+    // the writer's buffer.
+    if (journal)
+        journal->flush();
 
     if (result.complete) {
         // The end-of-session revive draws from its own sub-stream

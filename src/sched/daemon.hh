@@ -101,6 +101,18 @@ struct DaemonOptions
      * same arguments continues exactly where this one stopped.
      */
     int roundBudget = 0;
+
+    /**
+     * Group-commit policy for the daemon journal: flush the journal
+     * once per this many committed rounds (>= 1). The default — one
+     * flush per round — is the historical contract: a watchdog power
+     * cycle never loses a served round. Raising it trades a bounded,
+     * replay-tolerated kill-tail (the unflushed rounds re-run on
+     * resume) for fewer flushes on long soaks; run() drains the
+     * batch before returning. Durability-only: excluded from the
+     * journal binding header, like journalPath itself.
+     */
+    int flushEveryRounds = 1;
 };
 
 /** Supervisor outcome summary inside a daemon result. */

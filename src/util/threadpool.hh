@@ -67,6 +67,17 @@ class ThreadPool
     /** Hardware concurrency, clamped to at least 1. */
     static int defaultWorkerCount();
 
+    /**
+     * Run fn(0), ..., fn(count - 1) across @p workers threads
+     * (0 selects defaultWorkerCount()) and block until all indices
+     * finished. Fewer than two indices — or a single resolved
+     * worker — runs inline on the caller with no pool at all, so
+     * the helper costs nothing in the serial case. Tasks must be
+     * independent: no ordering between indices is promised.
+     */
+    static void parallelFor(size_t count, int workers,
+                            const std::function<void(size_t)> &fn);
+
   private:
     /** One worker's stealable deque. */
     struct WorkerQueue

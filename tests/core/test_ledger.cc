@@ -180,10 +180,13 @@ TEST(RunLedger, TruncatedTailIsDiscarded)
     EXPECT_EQ(reopened.size(), 1u);
     EXPECT_NE(reopened.find(1, "bwaves/ref", 0), nullptr);
 
-    // The ledger must still be appendable after the torn tail was
-    // discarded... but the torn bytes stay on disk, so this is a
-    // fresh in-memory append only; a real resume re-runs the cell
-    // and appends after the garbage, which the next open skips.
+    // The torn bytes are cut from the file on open, so a resumed
+    // session's re-run cell appends on a clean frame boundary.
+    reopened.append(1, makeCell("leslie3d/ref", 1));
+    RunLedger again(path, "test");
+    again.open("h");
+    EXPECT_EQ(again.size(), 2u);
+    EXPECT_NE(again.find(1, "leslie3d/ref", 1), nullptr);
     std::remove(path.c_str());
 }
 

@@ -199,6 +199,18 @@ TEST_F(DaemonTest, FatalOnBadClampThreshold)
                 "clampAfterAbnormalRounds");
 }
 
+TEST_F(DaemonTest, FatalOnBadFlushBatch)
+{
+    GovernorDaemon daemon(platform_, trainedGovernor(0.0, 1));
+    for (const auto &profile : *profiles_)
+        daemon.registerProfile(profile);
+    DaemonOptions options;
+    options.flushEveryRounds = 0;
+    EXPECT_EXIT(daemon.run({{"bwaves/ref", 0}}, 1, 1, options),
+                ::testing::ExitedWithCode(1),
+                "flushEveryRounds must be >= 1 \\(got 0\\)");
+}
+
 TEST_F(DaemonTest, ClampsGovernorAfterAbnormalStreak)
 {
     // A grossly over-tolerant governor misbehaves every round; with

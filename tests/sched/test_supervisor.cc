@@ -432,7 +432,8 @@ class SupervisedDaemonTest : public ::testing::Test
     static DaemonResult
     runSession(double tolerance, int rounds, Seed seed,
                const std::string &journal, int budget,
-               bool supervise = true, bool reexecute = true)
+               bool supervise = true, bool reexecute = true,
+               int flush_every = 1)
     {
         sim::Platform platform(sim::XGene2Params{},
                                sim::ChipCorner::TTT, 1);
@@ -447,6 +448,7 @@ class SupervisedDaemonTest : public ::testing::Test
         options.supervise = supervise;
         options.journalPath = journal;
         options.roundBudget = budget;
+        options.flushEveryRounds = flush_every;
         return daemon.run({{"bwaves/ref", 0}, {"namd/ref", 4}},
                           rounds, seed, options);
     }
@@ -484,6 +486,38 @@ TEST_F(SupervisedDaemonTest, KillAndResumeReproducesReportBytes)
               formatDaemonReport(uninterrupted))
         << "a resumed session must reproduce the uninterrupted "
            "report byte for byte";
+    std::remove(journal.c_str());
+}
+
+TEST_F(SupervisedDaemonTest, BatchedJournalKillResumesByteExact)
+{
+    const std::string journal = "/tmp/vmargin_supervisor_batched";
+    std::remove(journal.c_str());
+
+    const DaemonResult uninterrupted =
+        runSession(6.0, 12, 31, "", 0);
+    ASSERT_TRUE(uninterrupted.complete);
+
+    // Grouped commits: the journal flushes once per four rounds.
+    // run() drains the batch before returning, so the budgeted kill
+    // alone loses nothing; the mid-frame truncation below is the
+    // batch torn by a harder kill.
+    const DaemonResult killed =
+        runSession(6.0, 12, 31, journal, 7, true, true, 4);
+    EXPECT_FALSE(killed.complete);
+    EXPECT_EQ(killed.rounds.size(), 7u);
+    const auto size = std::filesystem::file_size(journal);
+    std::filesystem::resize_file(journal, size - 13);
+
+    const DaemonResult resumed =
+        runSession(6.0, 12, 31, journal, 0, true, true, 4);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_LT(resumed.replayedRounds, 7u)
+        << "the torn tail round must be re-served, not replayed";
+    EXPECT_EQ(formatDaemonReport(resumed),
+              formatDaemonReport(uninterrupted))
+        << "a batched journal resumed after a torn kill must "
+           "reproduce the uninterrupted report byte for byte";
     std::remove(journal.c_str());
 }
 
