@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Fleet executor throughput: cells/second at 1, 2 and 4 chips over
+ * the same 8-cell-per-chip sweep, each fleet size swept at several
+ * worker counts, plus the determinism check the fleet plane is built
+ * on — the serialized fleet report must hash identically for every
+ * worker count AND for a shuffled chip enumeration order (the full
+ * byte comparison lives in tests/integration/test_fleet_executor).
+ *
+ * Emits a JSON record per (chips, workers) series:
+ *
+ *   {"bench":"fleet_throughput","series":[...],
+ *    "fleet_identical":true}
+ *
+ * With `--json <path>` the record is additionally written to @p path
+ * (for CI artifact upload).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "core/fleet.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/threadpool.hh"
+
+using namespace vmargin;
+
+namespace
+{
+
+FrameworkConfig
+eightCellConfig()
+{
+    FrameworkConfig config;
+    config.workloads = {wl::findWorkload("bwaves/ref"),
+                        wl::findWorkload("mcf/ref")};
+    config.cores = {0, 2, 4, 6};
+    config.campaigns = 3;
+    config.maxEpochs = 10;
+    config.startVoltage = 930;
+    config.endVoltage = 845;
+    return config;
+}
+
+std::vector<std::string>
+fleetOf(int chips)
+{
+    // 1 chip = the paper's typical part; 3 = its TTT/TFF/TSS trio;
+    // 4 adds a second typical part, the shape a small rack has.
+    const std::vector<std::string> pool = {"TTT", "TFF:2", "TSS:3",
+                                           "TTT:4"};
+    return std::vector<std::string>(pool.begin(),
+                                    pool.begin() + chips);
+}
+
+struct Series
+{
+    int chips = 0;
+    int workers = 0;
+    double seconds = 0.0;
+    double cellsPerSec = 0.0;
+    Seed reportHash = 0;
+};
+
+Series
+sweepWith(int chips, int workers,
+          const std::vector<std::string> &chip_specs)
+{
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           1);
+    FleetConfig config;
+    config.chips = parseFleetSpec(chip_specs);
+    config.framework = eightCellConfig();
+    config.framework.workers = workers;
+    FleetExecutor executor(&platform);
+
+    const auto begin = std::chrono::steady_clock::now();
+    const FleetReport report = executor.run(config);
+    const auto end = std::chrono::steady_clock::now();
+
+    Series series;
+    series.chips = chips;
+    series.workers = workers;
+    series.seconds =
+        std::chrono::duration<double>(end - begin).count();
+    const double cells = static_cast<double>(
+        config.chips.size() * config.framework.workloads.size() *
+        config.framework.cores.size());
+    series.cellsPerSec = cells / series.seconds;
+    series.reportHash = util::hashSeed(report.serialize());
+    return series;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+            return 2;
+        }
+    }
+
+    util::printBanner(std::cout,
+                      "fleet executor throughput "
+                      "(8 cells per chip)");
+
+    const int hardware = util::ThreadPool::defaultWorkerCount();
+    const std::vector<int> fleet_sizes = {1, 2, 4};
+    const std::vector<int> worker_counts = {1, 4, 8};
+
+    std::vector<Series> series;
+    bool ok = true;
+    for (const int chips : fleet_sizes) {
+        Seed first_hash = 0;
+        for (const int workers : worker_counts) {
+            std::cerr << "sweeping " << chips << " chip"
+                      << (chips == 1 ? "" : "s") << " with "
+                      << workers << " worker"
+                      << (workers == 1 ? "" : "s") << "...\n";
+            const Series s =
+                sweepWith(chips, workers, fleetOf(chips));
+            if (first_hash == 0) {
+                first_hash = s.reportHash;
+            } else if (s.reportHash != first_hash) {
+                std::cerr << "FAIL: " << chips << "-chip report at "
+                          << workers
+                          << " workers differs from the first "
+                             "worker count (hash mismatch)\n";
+                ok = false;
+            }
+            series.push_back(s);
+        }
+
+        // Shuffled chip enumeration order must hash identically.
+        std::vector<std::string> shuffled = fleetOf(chips);
+        std::reverse(shuffled.begin(), shuffled.end());
+        const Series reordered = sweepWith(chips, 4, shuffled);
+        if (reordered.reportHash != first_hash) {
+            std::cerr << "FAIL: " << chips
+                      << "-chip report depends on the chip "
+                         "enumeration order (hash mismatch)\n";
+            ok = false;
+        }
+    }
+
+    for (const auto &s : series)
+        std::cout << util::padLeft(std::to_string(s.chips), 2)
+                  << " chips x "
+                  << util::padLeft(std::to_string(s.workers), 2)
+                  << " workers: "
+                  << util::padLeft(
+                         util::formatDouble(s.cellsPerSec, 2), 8)
+                  << " cells/s  ("
+                  << util::formatDouble(s.seconds, 3) << " s)\n";
+
+    std::ostringstream json;
+    json << "{\"bench\":\"fleet_throughput\",\"cells_per_chip\":8,"
+         << "\"hardware_threads\":" << hardware << ",\"series\":[";
+    for (size_t i = 0; i < series.size(); ++i) {
+        const auto &s = series[i];
+        json << (i ? "," : "") << "{\"chips\":" << s.chips
+             << ",\"workers\":" << s.workers
+             << ",\"seconds\":" << util::formatDouble(s.seconds, 4)
+             << ",\"cells_per_sec\":"
+             << util::formatDouble(s.cellsPerSec, 2)
+             << ",\"report_hash\":\"" << std::hex << s.reportHash
+             << std::dec << "\"}";
+    }
+    json << "],\"fleet_identical\":" << (ok ? "true" : "false")
+         << "}";
+
+    std::cout << json.str() << "\n";
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "FAIL: cannot write JSON to '" << json_path
+                      << "'\n";
+            return 1;
+        }
+        out << json.str() << "\n";
+    }
+
+    return ok ? 0 : 1;
+}

@@ -30,11 +30,17 @@ CellResultCache::open()
 }
 
 const CellMeasurement *
-CellResultCache::find(Seed config_hash,
+CellResultCache::find(Seed config_hash, const ChipRef &chip,
                       const std::string &workload_id,
                       CoreId core) const
 {
-    return ledger_.find(config_hash, workload_id, core);
+    if (const CellMeasurement *hit =
+            ledger_.find(config_hash, chip, workload_id, core))
+        return hit;
+    if (ledger_.fileVersion() == 1)
+        return ledger_.find(config_hash, ChipRef{}, workload_id,
+                            core);
+    return nullptr;
 }
 
 void

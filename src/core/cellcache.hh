@@ -48,11 +48,18 @@ class CellResultCache
     void open();
 
     /**
-     * Cached measurement for the cell under @p config_hash, or
+     * Cached measurement for @p chip's cell under @p config_hash, or
      * nullptr — entries recorded under any other configuration hash
-     * are rejected. The pointer is invalidated by the next put().
+     * are rejected. On a legacy (version-1) cache file the entries
+     * carry no chip and were loaded under the implicit default chip
+     * key — but cellConfigHash() mixes the chip identity, so any v1
+     * entry matching @p config_hash was necessarily recorded for the
+     * chip mixed into that hash; the lookup falls back to the
+     * implicit key and the hit is sound. The pointer is invalidated
+     * by the next put().
      */
     const CellMeasurement *find(Seed config_hash,
+                                const ChipRef &chip,
                                 const std::string &workload_id,
                                 CoreId core) const;
 

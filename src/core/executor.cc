@@ -71,6 +71,32 @@ measureCellWith(CampaignRunner &runner,
     return cell;
 }
 
+void
+mergeCellIntoReport(CharacterizationReport &report, LedgerView &view,
+                    const CellMeasurement &cell)
+{
+    if (cell.runs.empty()) {
+        // Extreme hostility can lose a whole cell to the
+        // management plane. Degrade: account the loss, omit
+        // the cell, keep sweeping. (The empty cell was
+        // journaled, so a resume will not redo it.)
+        util::warnf("characterize: every run of ", cell.workloadId,
+                    " on core ", cell.core,
+                    " was lost to management faults; "
+                    "cell omitted from the report");
+        report.watchdogInterventions += cell.watchdogInterventions;
+        report.telemetry.merge(cell.telemetry);
+        return;
+    }
+
+    view.addAll(cell.runs);
+    report.totalRuns += cell.runs.size();
+    report.allRuns.insert(report.allRuns.end(), cell.runs.begin(),
+                          cell.runs.end());
+    report.watchdogInterventions += cell.watchdogInterventions;
+    report.telemetry.merge(cell.telemetry);
+}
+
 CampaignExecutor::CampaignExecutor(sim::Platform *prototype)
     : prototype_(prototype)
 {
@@ -85,15 +111,18 @@ CampaignExecutor::run(const FrameworkConfig &config)
     report.chipName = prototype_->chip().name();
     report.corner = prototype_->chip().corner();
     report.frequency = config.frequency;
+    const ChipRef chip = chipRefOf(*prototype_);
 
     // The flush knobs shape durability, never measurements — they
     // are deliberately absent from journalHeaderFor/cellConfigHash,
     // so a journal written under one policy resumes under another.
+    // The platform's chip doubles as the implicit chip a legacy
+    // (pre-chip-dimension) journal's cells are mapped onto.
     std::unique_ptr<CampaignJournal> journal;
     if (!config.journalPath.empty()) {
         journal = std::make_unique<CampaignJournal>(
             config.journalPath, config.writeOptions());
-        journal->open(journalHeaderFor(config, *prototype_));
+        journal->open(journalHeaderFor(config, *prototype_), chip);
     }
 
     std::unique_ptr<CellResultCache> cache;
@@ -119,12 +148,12 @@ CampaignExecutor::run(const FrameworkConfig &config)
             entry.workload = &workload;
             entry.core = core;
             const CellMeasurement *served =
-                journal ? journal->find(workload.id(), core)
+                journal ? journal->find(chip, workload.id(), core)
                         : nullptr;
             if (served) {
                 entry.fromJournal = true;
             } else if (cache &&
-                       (served = cache->find(config_hash,
+                       (served = cache->find(config_hash, chip,
                                              workload.id(), core))) {
                 entry.fromCache = true;
             } else if (config.cellBudget > 0 &&
@@ -162,6 +191,7 @@ CampaignExecutor::run(const FrameworkConfig &config)
                 CampaignRunner runner(replica.get());
                 CellMeasurement cell = measureCellWith(
                     runner, *plan[i].workload, plan[i].core, config);
+                cell.chip = chip;
                 if (journal)
                     journal->append(cell);
                 if (cache)
@@ -185,37 +215,13 @@ CampaignExecutor::run(const FrameworkConfig &config)
     // order, so the report is byte-identical for any worker count.
     LedgerView view(config.weights);
     for (size_t i = 0; i < plan.size(); ++i) {
-        CellMeasurement &cell_measured =
+        const CellMeasurement &cell_measured =
             plan[i].fresh() ? measured[i] : plan[i].replayed;
         if (plan[i].fromJournal)
             ++report.telemetry.journalReplays;
         if (plan[i].fromCache)
             ++report.telemetry.cacheHits;
-
-        if (cell_measured.runs.empty()) {
-            // Extreme hostility can lose a whole cell to the
-            // management plane. Degrade: account the loss, omit
-            // the cell, keep sweeping. (The empty cell was
-            // journaled above, so a resume will not redo it.)
-            util::warnf("characterize: every run of ",
-                        cell_measured.workloadId, " on core ",
-                        cell_measured.core,
-                        " was lost to management faults; "
-                        "cell omitted from the report");
-            report.watchdogInterventions +=
-                cell_measured.watchdogInterventions;
-            report.telemetry.merge(cell_measured.telemetry);
-            continue;
-        }
-
-        view.addAll(cell_measured.runs);
-        report.totalRuns += cell_measured.runs.size();
-        report.allRuns.insert(report.allRuns.end(),
-                              cell_measured.runs.begin(),
-                              cell_measured.runs.end());
-        report.watchdogInterventions +=
-            cell_measured.watchdogInterventions;
-        report.telemetry.merge(cell_measured.telemetry);
+        mergeCellIntoReport(report, view, cell_measured);
     }
     // Derive the per-cell analyses across the same worker budget the
     // sweep ran on; cellResults() then reads the memoized analyses

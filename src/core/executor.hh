@@ -29,6 +29,7 @@
 
 #include "campaign.hh"
 #include "framework.hh"
+#include "ledger.hh"
 
 namespace vmargin
 {
@@ -44,6 +45,20 @@ CellMeasurement measureCellWith(CampaignRunner &runner,
                                 const wl::WorkloadProfile &workload,
                                 CoreId core,
                                 const FrameworkConfig &config);
+
+/**
+ * Fold one measured (or replayed) cell into a report being
+ * assembled: runs stream into @p view and the report's aggregate
+ * counters, while a cell whose every run was lost to management
+ * faults is degraded — accounted and omitted — rather than aborting
+ * the sweep. Shared by the single-chip executor and the fleet
+ * executor, which merge in different outer orders (canonical cell
+ * order vs. canonical chip-major order) over the same per-cell
+ * rule.
+ */
+void mergeCellIntoReport(CharacterizationReport &report,
+                         LedgerView &view,
+                         const CellMeasurement &cell);
 
 /**
  * Schedules one characterization sweep across a thread pool. One

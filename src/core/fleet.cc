@@ -1,0 +1,455 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "cellcache.hh"
+#include "executor.hh"
+#include "resultstore.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/threadpool.hh"
+
+namespace vmargin
+{
+
+namespace
+{
+
+bool
+cornerNamed(const std::string &name, sim::ChipCorner &out)
+{
+    for (const sim::ChipCorner corner : sim::kAllCorners) {
+        if (sim::cornerName(corner) == name) {
+            out = corner;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+ChipRef
+parseChipSpec(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string corner_name = spec.substr(0, colon);
+
+    ChipRef chip;
+    if (!cornerNamed(corner_name, chip.corner))
+        util::fatalError("--chip: unknown corner '" + corner_name +
+                         "' in '" + spec +
+                         "' (expected TTT, TFF or TSS)");
+
+    if (colon == std::string::npos) {
+        chip.serial = 1;
+        return chip;
+    }
+
+    const std::string serial_text = spec.substr(colon + 1);
+    char *end = nullptr;
+    const unsigned long serial =
+        std::strtoul(serial_text.c_str(), &end, 10);
+    if (serial_text.empty() || *end != '\0' ||
+        serial > 0xffffffffUL)
+        util::fatalError("--chip: malformed serial '" + serial_text +
+                         "' in '" + spec +
+                         "' (expected CORNER[:serial])");
+    if (serial == 0)
+        util::fatalError(
+            "--chip: serial 0 in '" + spec +
+            "' is reserved for legacy single-chip records; "
+            "serials start at 1");
+    chip.serial = static_cast<uint32_t>(serial);
+    return chip;
+}
+
+std::vector<ChipRef>
+parseFleetSpec(const std::vector<std::string> &specs)
+{
+    if (specs.empty())
+        util::fatalError(
+            "--chip: a fleet needs at least one chip "
+            "(pass --chip CORNER[:serial], repeatable)");
+
+    std::vector<ChipRef> chips;
+    chips.reserve(specs.size());
+    for (const auto &spec : specs) {
+        const ChipRef chip = parseChipSpec(spec);
+        for (const ChipRef &existing : chips)
+            if (existing == chip)
+                util::fatalError("--chip: duplicate chip " +
+                                 chip.name() + " in fleet spec");
+        chips.push_back(chip);
+    }
+    return chips;
+}
+
+void
+FleetConfig::validate() const
+{
+    if (chips.empty())
+        util::fatalError("FleetConfig: no chips");
+    for (size_t i = 0; i < chips.size(); ++i) {
+        if (chips[i].serial == 0)
+            util::fatalError(
+                "FleetConfig: chip " + chips[i].name() +
+                " uses serial 0, reserved for legacy single-chip "
+                "records");
+        for (size_t j = i + 1; j < chips.size(); ++j)
+            if (chips[i] == chips[j])
+                util::fatalError("FleetConfig: duplicate chip " +
+                                 chips[i].name());
+    }
+    framework.validate();
+}
+
+std::vector<ChipRef>
+FleetConfig::canonicalChips() const
+{
+    std::vector<ChipRef> sorted = chips;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+}
+
+const CharacterizationReport &
+FleetReport::report(const ChipRef &chip) const
+{
+    for (const auto &entry : chips)
+        if (entry.chip == chip)
+            return entry.report;
+    util::fatalError("FleetReport: chip " + chip.name() +
+                     " is not in this fleet");
+}
+
+std::vector<CornerSummary>
+FleetReport::cornerSummaries() const
+{
+    std::vector<CornerSummary> summaries;
+    for (const sim::ChipCorner corner : sim::kAllCorners) {
+        CornerSummary summary;
+        summary.corner = corner;
+        uint64_t vmin_total = 0;
+        for (const auto &entry : chips) {
+            if (entry.chip.corner != corner)
+                continue;
+            ++summary.chips;
+            for (const auto &cell : entry.report.cells) {
+                const MilliVolt vmin = cell.analysis.vmin;
+                if (vmin == 0)
+                    continue; // censored: no effect down to floor
+                if (summary.cells == 0 || vmin < summary.bestVmin)
+                    summary.bestVmin = vmin;
+                if (summary.cells == 0 || vmin > summary.worstVmin)
+                    summary.worstVmin = vmin;
+                vmin_total += static_cast<uint64_t>(vmin);
+                ++summary.cells;
+            }
+        }
+        if (summary.chips == 0)
+            continue;
+        if (summary.cells > 0) {
+            summary.meanVmin = static_cast<double>(vmin_total) /
+                               static_cast<double>(summary.cells);
+            summary.guardbandMv = nominalMv - summary.worstVmin;
+            const double ratio =
+                static_cast<double>(summary.worstVmin) /
+                static_cast<double>(nominalMv);
+            summary.savingsPercent = (1.0 - ratio * ratio) * 100.0;
+        }
+        summaries.push_back(summary);
+    }
+    return summaries;
+}
+
+double
+FleetReport::fleetSavingsPercent() const
+{
+    MilliVolt worst = 0;
+    for (const auto &entry : chips)
+        for (const auto &cell : entry.report.cells)
+            if (cell.analysis.vmin > worst)
+                worst = cell.analysis.vmin;
+    if (worst == 0)
+        return 0.0;
+    const double ratio = static_cast<double>(worst) /
+                         static_cast<double>(nominalMv);
+    return (1.0 - ratio * ratio) * 100.0;
+}
+
+std::string
+FleetReport::comparisonCsv() const
+{
+    // Workload rows in first-seen order across canonical chips, so
+    // a chip that only measured a subset still contributes rows in
+    // a deterministic position.
+    std::vector<std::string> workload_ids;
+    std::set<std::string> seen;
+    for (const auto &entry : chips)
+        for (const auto &cell : entry.report.cells)
+            if (seen.insert(cell.workloadId).second)
+                workload_ids.push_back(cell.workloadId);
+
+    std::ostringstream os;
+    os << "workload";
+    for (const auto &entry : chips)
+        os << ',' << entry.chip.name();
+    os << '\n';
+    for (const auto &workload_id : workload_ids) {
+        os << workload_id;
+        for (const auto &entry : chips) {
+            os << ',';
+            const auto &cells = entry.report.cells;
+            const bool has = std::any_of(
+                cells.begin(), cells.end(),
+                [&](const CellResult &cell) {
+                    return cell.workloadId == workload_id;
+                });
+            if (has)
+                os << entry.report.bestCoreVmin(workload_id);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+FleetReport::serialize() const
+{
+    std::ostringstream os;
+    os << "# vmargin-fleet chips=" << chips.size() << " corners=";
+    for (size_t i = 0; i < chips.size(); ++i)
+        os << (i ? "," : "") << chips[i].chip.name();
+    os << " freq=" << frequency << " nominal_mv=" << nominalMv
+       << '\n';
+
+    for (const auto &entry : chips) {
+        os << "== chip " << entry.chip.name() << " ==\n";
+        os << serializeReport(entry.report);
+    }
+
+    os << "== corner summary ==\n"
+       << "corner,chips,cells,best_vmin_mv,worst_vmin_mv,"
+          "mean_vmin_mv,guardband_mv,savings_pct\n";
+    for (const auto &summary : cornerSummaries()) {
+        os << sim::cornerName(summary.corner) << ','
+           << summary.chips << ',' << summary.cells << ','
+           << summary.bestVmin << ',' << summary.worstVmin << ','
+           << util::formatDouble(summary.meanVmin, 1) << ','
+           << summary.guardbandMv << ','
+           << util::formatDouble(summary.savingsPercent, 2) << '\n';
+    }
+
+    os << "== comparison ==\n" << comparisonCsv();
+    os << "fleet_savings_pct="
+       << util::formatDouble(fleetSavingsPercent(), 2) << '\n';
+    return os.str();
+}
+
+std::string
+fleetJournalHeaderFor(const FleetConfig &config,
+                      const sim::Platform &platform)
+{
+    // Same recipe as journalHeaderFor, with the canonical chip set
+    // in place of the single platform chip: a reordered --chip list
+    // binds to the same journal, any other change refuses it.
+    Seed hash = util::hashSeed("vmargin-fleet-journal-config");
+    for (const auto &workload : config.framework.workloads)
+        hash = util::mixSeed(hash, util::hashSeed(workload.id()));
+    for (const CoreId core : config.framework.cores)
+        hash = util::mixSeed(hash, static_cast<uint64_t>(core));
+    hash = mixSweepKnobs(hash, config.framework);
+    const std::vector<ChipRef> chips = config.canonicalChips();
+    for (const ChipRef &chip : chips)
+        hash = mixChipIdentity(hash, chip);
+    hash = mixFaultPlan(hash, platform);
+
+    std::ostringstream os;
+    os << "vmargin-fleet-journal chips=" << chips.size()
+       << " corners=";
+    for (size_t i = 0; i < chips.size(); ++i)
+        os << (i ? "," : "") << chips[i].name();
+    os << " freq=" << config.framework.frequency
+       << " config=" << std::hex << hash;
+    return os.str();
+}
+
+namespace
+{
+
+/** One (chip, workload, core) cell of the fleet sweep, chip-major
+ *  in canonical chip order. */
+struct FleetPlanEntry
+{
+    size_t chipIndex = 0;
+    const wl::WorkloadProfile *workload = nullptr;
+    CoreId core = 0;
+
+    CellMeasurement replayed;
+    bool fromJournal = false;
+    bool fromCache = false;
+
+    bool fresh() const { return !fromJournal && !fromCache; }
+};
+
+} // namespace
+
+FleetExecutor::FleetExecutor(sim::Platform *tmpl) : template_(tmpl)
+{
+    if (!template_)
+        util::panicf("FleetExecutor: null template platform");
+}
+
+FleetReport
+FleetExecutor::run(const FleetConfig &config)
+{
+    config.validate();
+    const FrameworkConfig &fw = config.framework;
+    const std::vector<ChipRef> chips = config.canonicalChips();
+
+    FleetReport fleet;
+    fleet.frequency = fw.frequency;
+    fleet.nominalMv =
+        template_->chip().params().nominalPmdVoltage;
+
+    // One prototype per fleet chip, stamped out from the template;
+    // cells later replicate their chip's prototype, so the template
+    // machine is never executed on.
+    std::vector<std::unique_ptr<sim::Platform>> prototypes;
+    prototypes.reserve(chips.size());
+    for (const ChipRef &chip : chips)
+        prototypes.push_back(
+            template_->freshReplica(chip.corner, chip.serial));
+
+    // Shared journal and cache: the chip dimension in the ledger
+    // index keeps the fleet's cells apart in one file.
+    std::unique_ptr<CampaignJournal> journal;
+    if (!fw.journalPath.empty()) {
+        journal = std::make_unique<CampaignJournal>(
+            fw.journalPath, fw.writeOptions());
+        journal->open(fleetJournalHeaderFor(config, *template_));
+    }
+
+    std::unique_ptr<CellResultCache> cache;
+    std::vector<Seed> config_hashes(chips.size(), 0);
+    if (!fw.cachePath.empty()) {
+        cache = std::make_unique<CellResultCache>(fw.cachePath,
+                                                  fw.writeOptions());
+        cache->open();
+        for (size_t i = 0; i < chips.size(); ++i)
+            config_hashes[i] = cellConfigHash(fw, *prototypes[i]);
+    }
+
+    // ---- plan: chip-major walk in canonical chip order -----------
+    // The cell budget counts fresh cells fleet-wide, truncating the
+    // plan exactly where a sequential chip-by-chip sweep would have
+    // stopped.
+    std::vector<FleetPlanEntry> plan;
+    plan.reserve(chips.size() * fw.workloads.size() *
+                 fw.cores.size());
+    int fresh_cells = 0;
+    for (size_t ci = 0; ci < chips.size() && fleet.complete; ++ci) {
+        for (const auto &workload : fw.workloads) {
+            for (const CoreId core : fw.cores) {
+                FleetPlanEntry entry;
+                entry.chipIndex = ci;
+                entry.workload = &workload;
+                entry.core = core;
+                const CellMeasurement *served =
+                    journal ? journal->find(chips[ci],
+                                            workload.id(), core)
+                            : nullptr;
+                if (served) {
+                    entry.fromJournal = true;
+                } else if (cache &&
+                           (served = cache->find(config_hashes[ci],
+                                                 chips[ci],
+                                                 workload.id(),
+                                                 core))) {
+                    entry.fromCache = true;
+                } else if (fw.cellBudget > 0 &&
+                           fresh_cells >= fw.cellBudget) {
+                    fleet.complete = false;
+                    break;
+                } else {
+                    ++fresh_cells;
+                }
+                if (served)
+                    entry.replayed = *served;
+                plan.push_back(std::move(entry));
+            }
+            if (!fleet.complete)
+                break;
+        }
+    }
+
+    // ---- execute: fresh cells fan out across one shared pool -----
+    // Same isolation contract as the single-chip executor: each
+    // task measures on a brand-new replica of its chip's prototype.
+    std::vector<CellMeasurement> measured(plan.size());
+    {
+        util::ThreadPool pool(fw.workers);
+        for (size_t i = 0; i < plan.size(); ++i) {
+            if (!plan[i].fresh())
+                continue;
+            pool.submit([&, i] {
+                auto replica =
+                    prototypes[plan[i].chipIndex]->freshReplica();
+                CampaignRunner runner(replica.get());
+                CellMeasurement cell = measureCellWith(
+                    runner, *plan[i].workload, plan[i].core, fw);
+                cell.chip = chips[plan[i].chipIndex];
+                if (journal)
+                    journal->append(cell);
+                if (cache)
+                    cache->put(config_hashes[plan[i].chipIndex],
+                               cell);
+                measured[i] = std::move(cell);
+            });
+        }
+        pool.wait();
+        if (journal)
+            journal->flush();
+        if (cache)
+            cache->flush();
+    }
+
+    // ---- merge: canonical chip-major order -----------------------
+    // One LedgerView per chip reproduces the single-chip merge
+    // exactly, so each per-chip report is byte-identical to what a
+    // lone CampaignExecutor would emit for that chip.
+    fleet.chips.reserve(chips.size());
+    for (size_t ci = 0; ci < chips.size(); ++ci) {
+        FleetChipReport entry;
+        entry.chip = chips[ci];
+        entry.report.chipName = prototypes[ci]->chip().name();
+        entry.report.corner = chips[ci].corner;
+        entry.report.frequency = fw.frequency;
+        entry.report.complete = fleet.complete;
+
+        LedgerView view(fw.weights);
+        for (size_t i = 0; i < plan.size(); ++i) {
+            if (plan[i].chipIndex != ci)
+                continue;
+            const CellMeasurement &cell =
+                plan[i].fresh() ? measured[i] : plan[i].replayed;
+            if (plan[i].fromJournal)
+                ++entry.report.telemetry.journalReplays;
+            if (plan[i].fromCache)
+                ++entry.report.telemetry.cacheHits;
+            mergeCellIntoReport(entry.report, view, cell);
+        }
+        view.deriveAll(fw.workers);
+        entry.report.cells = view.cellResults();
+        fleet.chips.push_back(std::move(entry));
+    }
+
+    return fleet;
+}
+
+} // namespace vmargin

@@ -207,7 +207,10 @@ CharacterizationFramework::measureCell(
     const wl::WorkloadProfile &workload, CoreId core,
     const FrameworkConfig &config)
 {
-    return measureCellWith(runner_, workload, core, config);
+    CellMeasurement cell =
+        measureCellWith(runner_, workload, core, config);
+    cell.chip = chipRefOf(*platform_);
+    return cell;
 }
 
 CellResult

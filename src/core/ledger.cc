@@ -262,7 +262,8 @@ encodeRunRecord(const RunRecord &record)
 }
 
 void
-encodeCellCommitInto(std::string &out, const CellCommit &commit)
+encodeCellCommitInto(std::string &out, const CellCommit &commit,
+                     uint32_t version)
 {
     out.push_back(static_cast<char>(LedgerRecord::Kind::Commit));
     putU64(out, commit.configHash);
@@ -271,6 +272,12 @@ encodeCellCommitInto(std::string &out, const CellCommit &commit)
     putU32(out, commit.runCount);
     putU64(out, commit.watchdogInterventions);
     putTelemetry(out, commit.telemetry);
+    if (version >= 2) {
+        // The chip dimension, appended in version 2 so the version-1
+        // layout stays a strict prefix.
+        out.push_back(static_cast<char>(commit.chip.corner));
+        putU32(out, commit.chip.serial);
+    }
 }
 
 std::string
@@ -411,7 +418,8 @@ readRunRecord(PayloadReader &reader, RunRecord &run)
 }
 
 bool
-readCellCommit(PayloadReader &reader, CellCommit &commit)
+readCellCommit(PayloadReader &reader, CellCommit &commit,
+               uint32_t version)
 {
     commit.configHash = reader.u64();
     commit.workloadId = reader.str();
@@ -419,6 +427,14 @@ readCellCommit(PayloadReader &reader, CellCommit &commit)
     commit.runCount = reader.u32();
     commit.watchdogInterventions = reader.u64();
     commit.telemetry = readTelemetry(reader);
+    if (version >= 2) {
+        commit.chip.corner =
+            static_cast<sim::ChipCorner>(reader.u8());
+        commit.chip.serial = reader.u32();
+    }
+    // Version 1 predates the chip dimension: the commit keeps the
+    // default ChipRef and the replay loop maps it onto the implicit
+    // chip the reader supplied.
     return reader.ok();
 }
 
@@ -491,7 +507,8 @@ readSupervisorCheckpoint(PayloadReader &reader,
 } // namespace
 
 bool
-decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
+decodeLedgerRecord(std::string_view payload, LedgerRecord &record,
+                   uint32_t version)
 {
     PayloadReader reader(payload);
     const auto kind = static_cast<LedgerRecord::Kind>(reader.u8());
@@ -503,7 +520,7 @@ decodeLedgerRecord(std::string_view payload, LedgerRecord &record)
       case LedgerRecord::Kind::Commit:
         record.kind = LedgerRecord::Kind::Commit;
         record.commit = CellCommit{};
-        return readCellCommit(reader, record.commit);
+        return readCellCommit(reader, record.commit, version);
       case LedgerRecord::Kind::DaemonRound:
         record.kind = LedgerRecord::Kind::DaemonRound;
         record.daemonRound = DaemonRoundRecord{};
@@ -778,12 +795,15 @@ RunLedger::flush()
 
 void
 RunLedger::open(const std::string &app_header,
-                const std::string &mismatch_hint)
+                const std::string &mismatch_hint,
+                ChipRef implicit_chip)
 {
     entries_.clear();
     byKey_.clear();
     daemonRounds_.clear();
     writer_.close();
+    implicitChip_ = implicit_chip;
+    fileVersion_ = kLedgerVersion;
 
     LedgerFileBuffer file;
     if (!file.load(path_)) {
@@ -872,12 +892,15 @@ RunLedger::open(const std::string &app_header,
                                  "' has a corrupt header frame");
             PayloadReader reader(payload);
             const uint32_t version = reader.u32();
-            if (version != kLedgerVersion)
+            if (version < kLedgerMinVersion ||
+                version > kLedgerVersion)
                 util::fatalError(
                     name_ + ": '" + path_ + "' uses ledger version " +
                     std::to_string(version) + ", this build reads " +
+                    std::to_string(kLedgerMinVersion) + " through " +
                     std::to_string(kLedgerVersion) +
                     "; refusing to mix versions");
+            fileVersion_ = version;
             const std::string header = reader.str();
             if (!reader.ok())
                 util::fatalError(name_ + ": '" + path_ +
@@ -982,16 +1005,21 @@ RunLedger::open(const std::string &app_header,
             // and the key is not already present (first occurrence
             // wins; racing sessions may append the same cell twice).
             CellCommit commit;
-            if (!readCellCommit(reader, commit)) {
+            if (!readCellCommit(reader, commit, fileVersion_)) {
                 markMalformed();
                 continue;
             }
+            if (fileVersion_ < 2)
+                // Legacy file: every cell belongs to the implicit
+                // single chip the caller supplied.
+                commit.chip = implicitChip_;
             const bool intact =
                 !pending_corrupt &&
                 pending.runs.size() == commit.runCount;
             if (intact &&
-                !findLocked(commit.configHash, commit.workloadId,
-                            commit.core)) {
+                !findLocked(commit.configHash, commit.chip.key(),
+                            commit.workloadId, commit.core)) {
+                pending.chip = commit.chip;
                 pending.workloadId = commit.workloadId;
                 pending.core = commit.core;
                 pending.watchdogInterventions =
@@ -999,6 +1027,7 @@ RunLedger::open(const std::string &app_header,
                 pending.telemetry = commit.telemetry;
                 byKey_.emplace(
                     std::make_tuple(commit.configHash,
+                                    commit.chip.key(),
                                     commit.workloadId, commit.core),
                     entries_.size());
                 entries_.push_back(
@@ -1026,15 +1055,23 @@ RunLedger::open(const std::string &app_header,
 }
 
 const CellMeasurement *
-RunLedger::findLocked(Seed config_hash,
+RunLedger::findLocked(Seed config_hash, uint64_t chip_key,
                       const std::string &workload_id,
                       CoreId core) const
 {
     const auto it = byKey_.find(
-        std::make_tuple(config_hash, workload_id, core));
+        std::make_tuple(config_hash, chip_key, workload_id, core));
     if (it == byKey_.end())
         return nullptr;
     return &entries_[it->second].cell;
+}
+
+const CellMeasurement *
+RunLedger::find(Seed config_hash, const ChipRef &chip,
+                const std::string &workload_id, CoreId core) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(config_hash, chip.key(), workload_id, core);
 }
 
 const CellMeasurement *
@@ -1042,7 +1079,8 @@ RunLedger::find(Seed config_hash, const std::string &workload_id,
                 CoreId core) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return findLocked(config_hash, workload_id, core);
+    return findLocked(config_hash, implicitChip_.key(), workload_id,
+                      core);
 }
 
 size_t
@@ -1093,35 +1131,43 @@ RunLedger::append(Seed config_hash, const CellMeasurement &cell)
         // Cheap racy pre-check: losing the race is handled by the
         // re-check below; winning it skips the encode entirely.
         std::lock_guard<std::mutex> lock(mutex_);
-        if (findLocked(config_hash, cell.workloadId, cell.core))
+        if (findLocked(config_hash, cell.chip.key(),
+                       cell.workloadId, cell.core))
             return; // first write wins
     }
 
     // Encode the whole commit unit — run frames plus the commit
     // frame — outside the mutex into per-thread scratch. The
     // critical section below is the duplicate re-check, one buffer
-    // append and the group-commit flush decision.
+    // append and the group-commit flush decision. Commits are
+    // encoded at the *file's* version so a resumed legacy file
+    // stays self-consistent (all its cells are the implicit chip).
     EncodeScratch &scratch = encodeScratch();
     for (const auto &run : cell.runs)
         scratch.addFrame(run, encodeRunRecordInto);
     CellCommit commit;
     commit.configHash = config_hash;
+    commit.chip = cell.chip;
     commit.workloadId = cell.workloadId;
     commit.core = cell.core;
     commit.runCount = static_cast<uint32_t>(cell.runs.size());
     commit.watchdogInterventions = cell.watchdogInterventions;
     commit.telemetry = cell.telemetry;
-    scratch.addFrame(commit, encodeCellCommitInto);
+    scratch.addFrame(commit,
+                     [this](std::string &out, const CellCommit &c) {
+                         encodeCellCommitInto(out, c, fileVersion_);
+                     });
 
     Entry entry{config_hash, cell}; // deep copy outside the lock
 
     std::lock_guard<std::mutex> lock(mutex_);
-    if (findLocked(config_hash, cell.workloadId, cell.core))
+    if (findLocked(config_hash, cell.chip.key(), cell.workloadId,
+                   cell.core))
         return; // raced: the first writer's cell stands
     writer_.append(scratch.frames, options_);
-    byKey_.emplace(
-        std::make_tuple(config_hash, cell.workloadId, cell.core),
-        entries_.size());
+    byKey_.emplace(std::make_tuple(config_hash, cell.chip.key(),
+                                   cell.workloadId, cell.core),
+                   entries_.size());
     entries_.push_back(std::move(entry));
 }
 

@@ -50,10 +50,55 @@
 #include "classifier.hh"
 #include "recovery.hh"
 #include "regions.hh"
+#include "sim/param.hh"
 #include "util/types.hh"
 
 namespace vmargin
 {
+
+/**
+ * Identity of one physical chip in a fleet: process corner plus
+ * serial number. The paper characterized three X-Gene 2 parts
+ * (TTT/TFF/TSS) side by side; every plane of this repo used to
+ * assume exactly one ambient chip, so chip identity lived only in
+ * the platform object. ChipRef lifts it into the data model: cells
+ * are keyed by (chip, workload, core), ledger commits carry the
+ * chip, and fleet reports merge chips in the canonical key() order
+ * so results are independent of enumeration order.
+ *
+ * The default value — TTT serial 0 — is the *implicit* single chip:
+ * version-1 ledger files predate the chip dimension, and their
+ * records are mapped onto the implicit chip a reader supplies to
+ * RunLedger::open() (the journal passes its platform's chip, so a
+ * legacy single-chip journal resumes seamlessly).
+ */
+struct ChipRef
+{
+    sim::ChipCorner corner = sim::ChipCorner::TTT;
+    uint32_t serial = 0;
+
+    /** Canonical 64-bit ordering key: corner-major, serial-minor. */
+    uint64_t key() const
+    {
+        return (static_cast<uint64_t>(corner) << 32) | serial;
+    }
+
+    /** Printable "TFF#2" form (matches sim::Chip::name()). */
+    std::string name() const
+    {
+        return sim::cornerName(corner) + "#" +
+               std::to_string(serial);
+    }
+
+    friend bool operator==(const ChipRef &a, const ChipRef &b)
+    {
+        return a.key() == b.key();
+    }
+    friend bool operator<(const ChipRef &a, const ChipRef &b)
+    {
+        return a.key() < b.key();
+    }
+};
 
 /**
  * One (workload, core) cell's complete measurement: the classified
@@ -66,6 +111,8 @@ namespace vmargin
  */
 struct CellMeasurement
 {
+    /** Chip the cell was measured on (the third cell coordinate). */
+    ChipRef chip;
     std::string workloadId;
     CoreId core = 0;
     std::vector<ClassifiedRun> runs;
@@ -112,6 +159,10 @@ struct CellCommit
     /** cellConfigHash() key for cache entries; 0 in journals, which
      *  bind the whole file to one experiment instead. */
     Seed configHash = 0;
+    /** Chip coordinate of the cell. Version-2 frames persist it;
+     *  version-1 frames predate it and decode to the implicit chip
+     *  the reader supplies. */
+    ChipRef chip;
     std::string workloadId;
     CoreId core = 0;
     uint32_t runCount = 0; ///< run records under this commit
@@ -236,8 +287,17 @@ struct LedgerRecord
 /** First bytes of every ledger file. */
 inline constexpr char kLedgerMagic[] = "VMLG";
 
-/** Current framing version; files of any other version are refused. */
-inline constexpr uint32_t kLedgerVersion = 1;
+/**
+ * Current framing version. Version 2 added the chip dimension to
+ * cell commits. Files of any *newer* version are refused; files
+ * back to kLedgerMinVersion are replayed, with version-1 commits
+ * mapped onto the implicit chip passed to RunLedger::open(). Fresh
+ * files are always created at the current version.
+ */
+inline constexpr uint32_t kLedgerVersion = 2;
+
+/** Oldest framing version this build still replays. */
+inline constexpr uint32_t kLedgerMinVersion = 1;
 
 /** Frame checksum (FNV-1a 32) over a payload. */
 uint32_t ledgerChecksum(std::string_view payload);
@@ -253,7 +313,8 @@ void appendFrame(std::string &out, std::string_view payload);
  * them.
  */
 void encodeRunRecordInto(std::string &out, const RunRecord &record);
-void encodeCellCommitInto(std::string &out, const CellCommit &commit);
+void encodeCellCommitInto(std::string &out, const CellCommit &commit,
+                          uint32_t version = kLedgerVersion);
 void encodeDaemonRoundInto(std::string &out,
                            const DaemonRoundRecord &record);
 void encodeSupervisorCheckpointInto(std::string &out,
@@ -383,12 +444,15 @@ class LedgerWriter
 };
 
 /**
- * Decode one frame payload. Returns false on a malformed payload
- * (unknown kind, short buffer) — the caller skips the record the
- * same way it skips a checksum mismatch.
+ * Decode one frame payload written under @p version (default: the
+ * current version). Returns false on a malformed payload (unknown
+ * kind, short buffer) — the caller skips the record the same way it
+ * skips a checksum mismatch. Version-1 cell commits carry no chip;
+ * the decoded commit keeps the default (implicit) ChipRef.
  */
 bool decodeLedgerRecord(std::string_view payload,
-                        LedgerRecord &record);
+                        LedgerRecord &record,
+                        uint32_t version = kLedgerVersion);
 
 /**
  * Append-only, mutex-guarded ledger over one file.
@@ -433,10 +497,16 @@ class RunLedger
      * @p mismatch_hint appended to the error). Loads all committed
      * cells with one bulk read (mmap where available) and a
      * zero-copy frame walk, then keeps the file open for appending.
-     * Not thread-safe; open before workers start.
+     * Fresh files are created at the current framing version; files
+     * back to kLedgerMinVersion are replayed, mapping version-1
+     * cells (which predate the chip dimension) onto
+     * @p implicit_chip, and appends to such a file stay at its
+     * version so it remains self-consistent. Not thread-safe; open
+     * before workers start.
      */
     void open(const std::string &app_header,
-              const std::string &mismatch_hint = "");
+              const std::string &mismatch_hint = "",
+              ChipRef implicit_chip = {});
 
     /**
      * Drain the writer's pending group-commit batch to the OS.
@@ -447,20 +517,30 @@ class RunLedger
     void flush();
 
     /**
-     * Committed measurement for the cell, or nullptr; entries
-     * recorded under a different @p config_hash are not found. The
-     * pointer is invalidated by the next append.
+     * Committed measurement for the cell on @p chip, or nullptr;
+     * entries recorded under a different @p config_hash are not
+     * found. The pointer is invalidated by the next append.
      */
+    const CellMeasurement *find(Seed config_hash,
+                                const ChipRef &chip,
+                                const std::string &workload_id,
+                                CoreId core) const;
+
+    /** Convenience lookup on the implicit chip passed to open(). */
     const CellMeasurement *find(Seed config_hash,
                                 const std::string &workload_id,
                                 CoreId core) const;
 
     /**
      * Append a cell's run records plus its commit frame and flush.
-     * Safe to call concurrently. A duplicate key is ignored — first
-     * write wins.
+     * The cell's chip coordinate is part of the key and (in
+     * version-2 files) of the commit frame. Safe to call
+     * concurrently. A duplicate key is ignored — first write wins.
      */
     void append(Seed config_hash, const CellMeasurement &cell);
+
+    /** Framing version of the open file (fresh files: current). */
+    uint32_t fileVersion() const { return fileVersion_; }
 
     /** Number of committed cells across all configuration hashes. */
     size_t size() const;
@@ -504,6 +584,7 @@ class RunLedger
 
   private:
     const CellMeasurement *findLocked(Seed config_hash,
+                                      uint64_t chip_key,
                                       const std::string &workload_id,
                                       CoreId core) const;
 
@@ -513,12 +594,15 @@ class RunLedger
     mutable std::mutex mutex_; ///< guards entries_ and the writer
     LedgerWriter writer_;
     std::vector<Entry> entries_;
-    /** (configHash, workload, core) -> entries_ index. The
-     *  historical writer scanned entries_ per lookup, which made
-     *  both replay and the per-append duplicate check quadratic in
-     *  the cell count. */
-    std::map<std::tuple<Seed, std::string, CoreId>, size_t> byKey_;
+    /** (configHash, chip key, workload, core) -> entries_ index.
+     *  The historical writer scanned entries_ per lookup, which
+     *  made both replay and the per-append duplicate check
+     *  quadratic in the cell count. */
+    std::map<std::tuple<Seed, uint64_t, std::string, CoreId>, size_t>
+        byKey_;
     std::vector<DaemonRoundEntry> daemonRounds_;
+    ChipRef implicitChip_;      ///< chip key of version-1 records
+    uint32_t fileVersion_ = kLedgerVersion;
 };
 
 /**

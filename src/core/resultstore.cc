@@ -193,15 +193,8 @@ loadReport(const std::string &path, const SeverityWeights &weights)
     return deserializeReport(text.str(), weights);
 }
 
-namespace
-{
-
-/** Mix the measurement-shaping knobs shared by the journal header
- *  and the per-cell cache key: everything except the workload/core
- *  lists. */
 Seed
-mixMeasurementKnobs(Seed hash, const FrameworkConfig &config,
-                    const sim::Platform &platform)
+mixSweepKnobs(Seed hash, const FrameworkConfig &config)
 {
     hash = util::mixSeed(hash,
                          static_cast<uint64_t>(config.frequency));
@@ -222,10 +215,18 @@ mixMeasurementKnobs(Seed hash, const FrameworkConfig &config,
         hash, static_cast<uint64_t>(config.retryPolicy.watchdogPolls));
     hash = util::mixSeed(hash, config.retryPolicy.backoffBaseUs);
     hash = util::mixSeed(hash, config.retryPolicy.backoffCapUs);
-    hash = util::mixSeed(
-        hash,
-        static_cast<uint64_t>(platform.chip().corner()) << 32 |
-            platform.chip().serial());
+    return hash;
+}
+
+Seed
+mixChipIdentity(Seed hash, const ChipRef &chip)
+{
+    return util::mixSeed(hash, chip.key());
+}
+
+Seed
+mixFaultPlan(Seed hash, const sim::Platform &platform)
+{
     if (const sim::FaultPlan *plan = platform.faultPlan()) {
         hash = util::mixSeed(hash, plan->config().seed);
         for (size_t op = 0; op < sim::kNumFaultOps; ++op)
@@ -237,6 +238,21 @@ mixMeasurementKnobs(Seed hash, const FrameworkConfig &config,
                     1e9));
     }
     return hash;
+}
+
+namespace
+{
+
+/** Mix the measurement-shaping knobs shared by the journal header
+ *  and the per-cell cache key: everything except the workload/core
+ *  lists. */
+Seed
+mixMeasurementKnobs(Seed hash, const FrameworkConfig &config,
+                    const sim::Platform &platform)
+{
+    hash = mixSweepKnobs(hash, config);
+    hash = mixChipIdentity(hash, chipRefOf(platform));
+    return mixFaultPlan(hash, platform);
 }
 
 } // namespace
@@ -280,11 +296,13 @@ CampaignJournal::CampaignJournal(std::string path,
 }
 
 void
-CampaignJournal::open(const std::string &header)
+CampaignJournal::open(const std::string &header,
+                      ChipRef implicit_chip)
 {
     ledger_.open(header,
                  "was recorded for a different experiment "
-                 "(header mismatch); refusing to resume from it");
+                 "(header mismatch); refusing to resume from it",
+                 implicit_chip);
 }
 
 bool
@@ -292,6 +310,14 @@ CampaignJournal::has(const std::string &workload_id,
                      CoreId core) const
 {
     return find(workload_id, core) != nullptr;
+}
+
+const CellMeasurement *
+CampaignJournal::find(const ChipRef &chip,
+                      const std::string &workload_id,
+                      CoreId core) const
+{
+    return ledger_.find(0, chip, workload_id, core);
 }
 
 const CellMeasurement *

@@ -49,6 +49,14 @@ CharacterizationReport
 loadReport(const std::string &path,
            const SeverityWeights &weights = {});
 
+/** The data-model identity of @p platform's chip. */
+inline ChipRef
+chipRefOf(const sim::Platform &platform)
+{
+    return ChipRef{platform.chip().corner(),
+                   platform.chip().serial()};
+}
+
 /**
  * Header line binding a journal to one experiment: chip identity,
  * frequency, and a hash of every configuration knob that shapes the
@@ -57,6 +65,18 @@ loadReport(const std::string &path,
  */
 std::string journalHeaderFor(const FrameworkConfig &config,
                              const sim::Platform &platform);
+
+/**
+ * The three ingredients of a measurement-shaping hash, split so the
+ * fleet plane can compose them per chip: the sweep knobs (voltage
+ * range, runs, campaigns, epochs, fan target, retry policy), one
+ * chip's identity, and the platform's fault-plan configuration.
+ * journalHeaderFor()/cellConfigHash() mix them in exactly this
+ * order, so the single-chip hashes are unchanged by the split.
+ */
+Seed mixSweepKnobs(Seed hash, const FrameworkConfig &config);
+Seed mixChipIdentity(Seed hash, const ChipRef &chip);
+Seed mixFaultPlan(Seed hash, const sim::Platform &platform);
 
 /**
  * Hash of every configuration knob that shapes a *single cell's*
@@ -103,15 +123,27 @@ class CampaignJournal
      * Bind to @p header: a fresh file gets it written, an existing
      * file must carry it (fatal otherwise — the journal belongs to
      * a different experiment), and its completed entries are
-     * loaded. Not thread-safe; open before workers start.
+     * loaded. @p implicit_chip is the chip a legacy (version-1,
+     * pre-chip-dimension) file's cells are mapped onto — the
+     * single-chip executor passes its platform's chip, so old
+     * journals resume seamlessly; fleet journals are written at the
+     * current version and ignore it. Not thread-safe; open before
+     * workers start.
      */
-    void open(const std::string &header);
+    void open(const std::string &header,
+              ChipRef implicit_chip = {});
 
-    /** True when the cell is already journaled. */
+    /** True when the cell is already journaled on the implicit
+     *  chip. */
     bool has(const std::string &workload_id, CoreId core) const;
 
-    /** Journaled measurement for the cell, or nullptr. The pointer
-     *  is invalidated by the next append(). */
+    /** Journaled measurement for the cell on @p chip, or nullptr.
+     *  The pointer is invalidated by the next append(). */
+    const CellMeasurement *find(const ChipRef &chip,
+                                const std::string &workload_id,
+                                CoreId core) const;
+
+    /** Lookup on the implicit chip passed to open(). */
     const CellMeasurement *find(const std::string &workload_id,
                                 CoreId core) const;
 

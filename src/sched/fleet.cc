@@ -1,0 +1,183 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace vmargin::sched
+{
+
+void
+FleetSupervisor::addNode(const ChipRef &chip,
+                         const DaemonResult &result)
+{
+    for (const auto &node : nodes_)
+        if (node.chip == chip)
+            util::fatalError("FleetSupervisor: node " + chip.name() +
+                             " already registered");
+    nodes_.push_back(FleetNodeResult{chip, result});
+}
+
+FleetSupervisorSummary
+FleetSupervisor::summary() const
+{
+    std::vector<const FleetNodeResult *> ordered;
+    ordered.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        ordered.push_back(&node);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const FleetNodeResult *a, const FleetNodeResult *b) {
+                  return a->chip < b->chip;
+              });
+
+    FleetSupervisorSummary summary;
+    summary.nodes = ordered.size();
+    double savings_total = 0.0;
+    for (const FleetNodeResult *node : ordered) {
+        const DaemonResult &result = node->result;
+        summary.roundsServed += result.rounds.size();
+        summary.abnormalRounds += result.abnormalRounds;
+        summary.crashes += result.crashes;
+        summary.watchdogResets += result.watchdogResets;
+        summary.reexecutions += result.reexecutions;
+        summary.fallbackRounds += result.fallbackRounds;
+        summary.quarantines += result.supervisor.quarantines;
+        summary.readmissions += result.supervisor.readmissions;
+        summary.canaryRounds += result.supervisor.canaryRounds;
+        summary.canaryFailures += result.supervisor.canaryFailures;
+        summary.pinnedRounds += result.supervisor.pinnedRounds;
+        summary.quarantinedCores +=
+            result.supervisor.quarantinedCores.size();
+        if (result.supervisor.clampReason != ClampReason::None)
+            ++summary.clampedNodes;
+
+        savings_total += result.energySavingsPercent;
+        if (summary.nodeStates.empty() ||
+            result.energySavingsPercent <
+                summary.worstSavingsPercent)
+            summary.worstSavingsPercent =
+                result.energySavingsPercent;
+
+        FleetNodeState state;
+        state.chip = node->chip;
+        state.complete = result.complete;
+        state.savingsPercent = result.energySavingsPercent;
+        state.averageVoltage = result.averageVoltage;
+        state.crashes = result.crashes;
+        state.watchdogResets = result.watchdogResets;
+        state.abnormalRounds = result.abnormalRounds;
+        state.clampReason = result.supervisor.clampReason;
+        state.guardSteps = result.supervisor.guardSteps;
+        state.quarantinedCores =
+            result.supervisor.quarantinedCores;
+        summary.nodeStates.push_back(std::move(state));
+    }
+    if (summary.nodes > 0)
+        summary.meanSavingsPercent =
+            savings_total / static_cast<double>(summary.nodes);
+    return summary;
+}
+
+std::string
+formatFleetSummary(const FleetSupervisorSummary &summary)
+{
+    std::ostringstream os;
+    os << "==== fleet supervisor ====\n";
+    os << "nodes             : " << summary.nodes << " ("
+       << summary.clampedNodes << " clamped)\n";
+    os << "rounds served     : " << summary.roundsServed << "\n";
+    os << "abnormal rounds   : " << summary.abnormalRounds << "\n";
+    os << "crashes           : " << summary.crashes << " ("
+       << summary.watchdogResets << " watchdog resets)\n";
+    os << "reexecutions      : " << summary.reexecutions << "\n";
+    os << "fallback rounds   : " << summary.fallbackRounds << "\n";
+    os << "quarantines       : " << summary.quarantines << " ("
+       << summary.quarantinedCores << " still held, "
+       << summary.readmissions << " readmitted)\n";
+    os << "canary probes     : " << summary.canaryRounds
+       << " rounds, " << summary.canaryFailures << " failures, "
+       << summary.pinnedRounds << " pinned rounds\n";
+    os << "energy savings    : mean "
+       << util::formatDouble(summary.meanSavingsPercent, 2)
+       << " %, worst "
+       << util::formatDouble(summary.worstSavingsPercent, 2)
+       << " %\n";
+    for (const auto &node : summary.nodeStates) {
+        os << "  " << node.chip.name() << " : savings "
+           << util::formatDouble(node.savingsPercent, 2)
+           << " %, avg " << util::formatDouble(node.averageVoltage, 1)
+           << " mV, crashes " << node.crashes << ", clamp "
+           << clampReasonName(node.clampReason) << ", quarantined [";
+        for (size_t i = 0; i < node.quarantinedCores.size(); ++i)
+            os << (i ? "," : "")
+               << static_cast<int>(node.quarantinedCores[i]);
+        os << "]\n";
+    }
+    return os.str();
+}
+
+FleetAllocation
+allocateAcrossFleet(const FleetReport &fleet,
+                    const std::vector<std::string> &workload_ids,
+                    const std::map<uint64_t, std::vector<CoreId>>
+                        &quarantined_by_chip)
+{
+    const FleetChipReport *best_chip = nullptr;
+    Allocation best;
+    size_t infeasible = 0;
+
+    for (const auto &entry : fleet.chips) {
+        std::vector<CoreId> excluded;
+        const auto it = quarantined_by_chip.find(entry.chip.key());
+        if (it != quarantined_by_chip.end())
+            excluded = it->second;
+
+        // Pre-check feasibility so an undersized, heavily
+        // quarantined, or partially characterized (budget-truncated)
+        // node is skipped instead of tripping the allocator's fatal.
+        std::set<CoreId> eligible;
+        std::set<std::string> characterized;
+        for (const auto &cell : entry.report.cells) {
+            characterized.insert(cell.workloadId);
+            if (std::find(excluded.begin(), excluded.end(),
+                          cell.core) == excluded.end())
+                eligible.insert(cell.core);
+        }
+        const bool covers_jobs = std::all_of(
+            workload_ids.begin(), workload_ids.end(),
+            [&](const std::string &id) {
+                return characterized.count(id) > 0;
+            });
+        if (!covers_jobs ||
+            eligible.size() < workload_ids.size()) {
+            ++infeasible;
+            continue;
+        }
+
+        const TaskAllocator allocator(entry.report);
+        Allocation candidate =
+            allocator.allocate(workload_ids, excluded);
+        // Strict < keeps the first (canonical-order) chip on ties,
+        // so the choice is deterministic.
+        if (!best_chip ||
+            candidate.requiredVoltage < best.requiredVoltage) {
+            best_chip = &entry;
+            best = std::move(candidate);
+        }
+    }
+
+    if (!best_chip)
+        util::fatalError(
+            "allocateAcrossFleet: no chip can host " +
+            std::to_string(workload_ids.size()) + " jobs (" +
+            std::to_string(fleet.chips.size()) + " chips, " +
+            std::to_string(infeasible) +
+            " infeasible after quarantine)");
+
+    return FleetAllocation{best_chip->chip, std::move(best)};
+}
+
+} // namespace vmargin::sched

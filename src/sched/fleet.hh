@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fleet-level scheduling plane.
+ *
+ * The management story scales the same way the characterization
+ * plane does: one GovernorDaemon/MarginSupervisor pair runs *per
+ * node* (one chip, one machine), and the fleet operator needs the
+ * rollup — how many nodes are emergency-clamped, which cores are
+ * quarantined where, what the fleet-wide savings actually are. The
+ * FleetSupervisor aggregates per-node DaemonResults into one
+ * FleetSupervisorSummary in canonical chip order, and
+ * allocateAcrossFleet() extends the paper's variation-aware
+ * placement across chips: pick the part whose characterized Vmin
+ * lets the job set run at the lowest domain voltage, honoring each
+ * node's quarantine set.
+ */
+
+#ifndef VMARGIN_SCHED_FLEET_HH
+#define VMARGIN_SCHED_FLEET_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "allocator.hh"
+#include "core/fleet.hh"
+#include "daemon.hh"
+
+namespace vmargin::sched
+{
+
+/** One node's daemon session, tagged with its chip. */
+struct FleetNodeResult
+{
+    ChipRef chip;
+    DaemonResult result;
+};
+
+/** One node's line in the fleet summary. */
+struct FleetNodeState
+{
+    ChipRef chip;
+    bool complete = true;
+    double savingsPercent = 0.0;
+    double averageVoltage = 980.0;
+    uint64_t crashes = 0;
+    uint64_t watchdogResets = 0;
+    uint64_t abnormalRounds = 0;
+    ClampReason clampReason = ClampReason::None;
+    int guardSteps = 0;
+    std::vector<CoreId> quarantinedCores;
+};
+
+/** Fleet-wide aggregation of per-node daemon sessions. */
+struct FleetSupervisorSummary
+{
+    size_t nodes = 0;
+    uint64_t roundsServed = 0;
+    uint64_t abnormalRounds = 0;
+    uint64_t crashes = 0;
+    uint64_t watchdogResets = 0;
+    uint64_t reexecutions = 0;
+    uint64_t fallbackRounds = 0;
+    uint64_t quarantines = 0;
+    uint64_t readmissions = 0;
+    uint64_t canaryRounds = 0;
+    uint64_t canaryFailures = 0;
+    uint64_t pinnedRounds = 0;
+
+    /** Cores still quarantined at session end, fleet-wide. */
+    uint64_t quarantinedCores = 0;
+
+    /** Nodes whose supervisor ended emergency-clamped. */
+    size_t clampedNodes = 0;
+
+    /** Mean of per-node energy savings (every node weighs the
+     *  same — the fleet view, not a round-weighted view). */
+    double meanSavingsPercent = 0.0;
+
+    /** The weakest node's savings — the number a fleet-wide SLA
+     *  must quote. */
+    double worstSavingsPercent = 0.0;
+
+    /** Per-node lines in canonical chip order. */
+    std::vector<FleetNodeState> nodeStates;
+};
+
+/**
+ * Collects per-node daemon sessions and summarizes them. Nodes may
+ * be added in any order; the summary is rendered in canonical chip
+ * order, so it is byte-identical for any registration order.
+ */
+class FleetSupervisor
+{
+  public:
+    /** Register one node's session. Fatal on a duplicate chip. */
+    void addNode(const ChipRef &chip, const DaemonResult &result);
+
+    size_t nodes() const { return nodes_.size(); }
+
+    /** Aggregate across every registered node. */
+    FleetSupervisorSummary summary() const;
+
+  private:
+    std::vector<FleetNodeResult> nodes_;
+};
+
+/** Printable multi-line rendering of a fleet summary. */
+std::string formatFleetSummary(const FleetSupervisorSummary &summary);
+
+/** Cross-chip allocation result: the chosen part plus the placement
+ *  on it. */
+struct FleetAllocation
+{
+    ChipRef chip;
+    Allocation allocation;
+};
+
+/**
+ * Variation-aware placement across the fleet: for every chip with
+ * enough eligible (non-quarantined, characterized) cores, compute
+ * the Vmin-optimal placement and pick the chip whose placement runs
+ * at the lowest domain voltage (canonical chip order breaks ties, so
+ * the choice is deterministic). @p quarantined_by_chip maps
+ * ChipRef::key() to that node's quarantine set. Fatal — naming the
+ * job count and fleet size — when no chip can host the jobs.
+ */
+FleetAllocation allocateAcrossFleet(
+    const FleetReport &fleet,
+    const std::vector<std::string> &workload_ids,
+    const std::map<uint64_t, std::vector<CoreId>>
+        &quarantined_by_chip = {});
+
+} // namespace vmargin::sched
+
+#endif // VMARGIN_SCHED_FLEET_HH

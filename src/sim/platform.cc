@@ -15,9 +15,14 @@ Platform::Platform(const XGene2Params &params, ChipCorner corner,
 std::unique_ptr<Platform>
 Platform::freshReplica() const
 {
+    return freshReplica(chip_->corner(), chip_->serial());
+}
+
+std::unique_ptr<Platform>
+Platform::freshReplica(ChipCorner corner, uint32_t serial) const
+{
     auto replica = std::make_unique<Platform>(
-        chip_->params(), chip_->corner(), chip_->serial(),
-        enhancements_);
+        chip_->params(), corner, serial, enhancements_);
     if (faultPlan_)
         replica->installFaultPlan(faultPlan_->config());
     return replica;

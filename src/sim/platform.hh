@@ -123,6 +123,17 @@ class Platform
      */
     std::unique_ptr<Platform> freshReplica() const;
 
+    /**
+     * Like freshReplica(), but fabricate the copy as a *different
+     * part*: same platform parameters, design enhancements and fault
+     * plan configuration, with the given corner and serial seeding
+     * its process variation. The fleet executor uses this to stamp
+     * out one prototype per fleet chip from a single template
+     * machine.
+     */
+    std::unique_ptr<Platform> freshReplica(ChipCorner corner,
+                                           uint32_t serial) const;
+
   private:
     std::unique_ptr<Chip> chip_;
     DesignEnhancements enhancements_;

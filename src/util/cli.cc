@@ -33,6 +33,19 @@ CliParser::addFlag(const std::string &name, const std::string &help)
     order_.push_back(name);
 }
 
+void
+CliParser::addRepeatable(const std::string &name,
+                         const std::string &help)
+{
+    if (options_.count(name))
+        panicf("CliParser: duplicate option --", name);
+    Option opt;
+    opt.help = help;
+    opt.isRepeatable = true;
+    options_[name] = std::move(opt);
+    order_.push_back(name);
+}
+
 bool
 CliParser::parse(int argc, const char *const *argv)
 {
@@ -70,15 +83,18 @@ CliParser::parse(int argc, const char *const *argv)
                 return false;
             }
             opt.value = "1";
-        } else if (has_inline) {
-            opt.value = inline_value;
         } else {
-            if (i + 1 >= argc) {
+            if (!has_inline && i + 1 >= argc) {
                 std::cerr << program_ << ": option --" << name
                           << " requires a value\n";
                 return false;
             }
-            opt.value = argv[++i];
+            const std::string given =
+                has_inline ? inline_value : argv[++i];
+            if (opt.isRepeatable)
+                opt.list.push_back(given);
+            else
+                opt.value = given;
         }
     }
     return true;
@@ -90,7 +106,22 @@ CliParser::value(const std::string &name) const
     auto it = options_.find(name);
     if (it == options_.end())
         panicf("CliParser: option --", name, " was never registered");
+    if (it->second.isRepeatable)
+        panicf("CliParser: option --", name,
+               " is repeatable; read it with values()");
     return it->second.value;
+}
+
+const std::vector<std::string> &
+CliParser::values(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panicf("CliParser: option --", name, " was never registered");
+    if (!it->second.isRepeatable)
+        panicf("CliParser: option --", name,
+               " is not repeatable; read it with value()");
+    return it->second.list;
 }
 
 long
@@ -132,7 +163,9 @@ CliParser::printHelp(std::ostream &out) const
         if (!opt.isFlag)
             left += " <value>";
         out << padRight(left, 28) << opt.help;
-        if (!opt.isFlag && !opt.value.empty())
+        if (opt.isRepeatable)
+            out << " (repeatable)";
+        else if (!opt.isFlag && !opt.value.empty())
             out << " (default: " << opt.value << ")";
         out << '\n';
     }

@@ -38,6 +38,14 @@ class CliParser
     void addFlag(const std::string &name, const std::string &help);
 
     /**
+     * Register a repeatable value option: every occurrence of
+     * "--name value" appends to the list read back with values().
+     * No default — an untouched repeatable option is an empty list.
+     */
+    void addRepeatable(const std::string &name,
+                       const std::string &help);
+
+    /**
      * Parse argv. Returns false (after printing a message) on error
      * or when --help was requested.
      */
@@ -55,6 +63,11 @@ class CliParser
     /** True if flag @p name was given. */
     bool flag(const std::string &name) const;
 
+    /** Every value given for repeatable option @p name, in command
+     *  line order; panics if @p name is not repeatable. */
+    const std::vector<std::string> &values(
+        const std::string &name) const;
+
     /** Positional arguments left over after option parsing. */
     const std::vector<std::string> &positional() const
     {
@@ -71,6 +84,8 @@ class CliParser
         std::string value;
         bool isFlag = false;
         bool seen = false;
+        bool isRepeatable = false;
+        std::vector<std::string> list;
     };
 
     std::string program_;

@@ -47,8 +47,9 @@ measuredCell(const std::string &path)
     (void)framework.characterize(config);
     CellResultCache cache(path);
     cache.open();
-    const auto *cell = cache.find(
-        cellConfigHash(config, platform), "leslie3d/ref", 0);
+    const auto *cell =
+        cache.find(cellConfigHash(config, platform),
+                   chipRefOf(platform), "leslie3d/ref", 0);
     EXPECT_NE(cell, nullptr);
     return *cell;
 }
@@ -68,7 +69,8 @@ TEST(CellCache, PutFindRoundTripsAcrossReopen)
     sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
                            3);
     const Seed hash = cellConfigHash(smallConfig(), platform);
-    const auto *found = reopened.find(hash, "leslie3d/ref", 0);
+    const auto *found =
+        reopened.find(hash, chipRefOf(platform), "leslie3d/ref", 0);
     ASSERT_NE(found, nullptr);
     ASSERT_EQ(found->runs.size(), cell.runs.size());
     for (size_t i = 0; i < cell.runs.size(); ++i) {
@@ -100,7 +102,9 @@ TEST(CellCache, RejectsEntryFromDifferentConfigHash)
     other.endVoltage = 900; // different measurement shape
     const Seed other_hash = cellConfigHash(other, platform);
     EXPECT_NE(other_hash, cellConfigHash(smallConfig(), platform));
-    EXPECT_EQ(cache.find(other_hash, "leslie3d/ref", 0), nullptr)
+    EXPECT_EQ(cache.find(other_hash, chipRefOf(platform),
+                         "leslie3d/ref", 0),
+              nullptr)
         << "an entry recorded under a different config hash must "
            "be rejected";
 
@@ -108,7 +112,7 @@ TEST(CellCache, RejectsEntryFromDifferentConfigHash)
     sim::Platform other_chip(sim::XGene2Params{},
                              sim::ChipCorner::TTT, 4);
     EXPECT_EQ(cache.find(cellConfigHash(smallConfig(), other_chip),
-                         "leslie3d/ref", 0),
+                         chipRefOf(other_chip), "leslie3d/ref", 0),
               nullptr);
     std::remove(path.c_str());
 }

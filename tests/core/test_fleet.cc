@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Fleet plane unit tests: chip-spec parsing with value-bearing
+ * rejections, fleet validation, canonical chip ordering, the shared
+ * journal header's order independence, and the cross-chip analytics
+ * (corner summaries, guardband recommendation, savings rollup,
+ * comparison table) over hand-made reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fleet.hh"
+#include "workloads/spec.hh"
+
+namespace vmargin
+{
+namespace
+{
+
+CellResult
+madeCell(const std::string &workload, CoreId core, MilliVolt vmin)
+{
+    CellResult cell;
+    cell.workloadId = workload;
+    cell.core = core;
+    cell.analysis.vmin = vmin;
+    return cell;
+}
+
+FleetReport
+madeFleet()
+{
+    // TTT part: Vmins 900/890 on bwaves, 880 on mcf. TFF part is
+    // more robust (lower Vmin); one censored cell (vmin 0) that the
+    // statistics must skip.
+    FleetReport fleet;
+    fleet.nominalMv = 980;
+
+    FleetChipReport ttt;
+    ttt.chip = ChipRef{sim::ChipCorner::TTT, 1};
+    ttt.report.chipName = "TTT#1";
+    ttt.report.cells = {madeCell("bwaves/ref", 0, 900),
+                        madeCell("bwaves/ref", 1, 890),
+                        madeCell("mcf/ref", 0, 880),
+                        madeCell("mcf/ref", 1, 0)};
+
+    FleetChipReport tff;
+    tff.chip = ChipRef{sim::ChipCorner::TFF, 1};
+    tff.report.chipName = "TFF#1";
+    tff.report.cells = {madeCell("bwaves/ref", 0, 870),
+                        madeCell("bwaves/ref", 1, 860),
+                        madeCell("mcf/ref", 0, 850),
+                        madeCell("mcf/ref", 1, 855)};
+
+    fleet.chips = {std::move(ttt), std::move(tff)};
+    return fleet;
+}
+
+TEST(FleetSpec, ParsesCornerAndSerial)
+{
+    const ChipRef bare = parseChipSpec("TFF");
+    EXPECT_EQ(bare.corner, sim::ChipCorner::TFF);
+    EXPECT_EQ(bare.serial, 1u);
+    EXPECT_EQ(bare.name(), "TFF#1");
+
+    const ChipRef with_serial = parseChipSpec("TSS:12");
+    EXPECT_EQ(with_serial.corner, sim::ChipCorner::TSS);
+    EXPECT_EQ(with_serial.serial, 12u);
+}
+
+TEST(FleetSpecDeath, RejectsBadSpecsNamingTheValue)
+{
+    EXPECT_EXIT((void)parseChipSpec("XYZ"),
+                ::testing::ExitedWithCode(1), "unknown corner 'XYZ'");
+    EXPECT_EXIT((void)parseChipSpec("TFF:abc"),
+                ::testing::ExitedWithCode(1),
+                "malformed serial 'abc'");
+    EXPECT_EXIT((void)parseChipSpec("TFF:"),
+                ::testing::ExitedWithCode(1), "malformed serial");
+    EXPECT_EXIT((void)parseChipSpec("TFF:0"),
+                ::testing::ExitedWithCode(1), "serial 0");
+}
+
+TEST(FleetSpecDeath, RejectsEmptyAndDuplicateFleets)
+{
+    EXPECT_EXIT((void)parseFleetSpec({}),
+                ::testing::ExitedWithCode(1), "at least one chip");
+    EXPECT_EXIT((void)parseFleetSpec({"TTT", "TFF:2", "TFF:2"}),
+                ::testing::ExitedWithCode(1),
+                "duplicate chip TFF#2");
+}
+
+TEST(FleetSpec, ParsesAFleet)
+{
+    const auto chips = parseFleetSpec({"TFF:2", "TTT", "TSS:3"});
+    ASSERT_EQ(chips.size(), 3u);
+    EXPECT_EQ(chips[0].name(), "TFF#2");
+    EXPECT_EQ(chips[1].name(), "TTT#1");
+    EXPECT_EQ(chips[2].name(), "TSS#3");
+}
+
+TEST(FleetConfigTest, CanonicalOrderIsEnumerationIndependent)
+{
+    FleetConfig a;
+    a.chips = parseFleetSpec({"TSS:3", "TTT", "TFF:2"});
+    FleetConfig b;
+    b.chips = parseFleetSpec({"TFF:2", "TSS:3", "TTT"});
+    const auto ca = a.canonicalChips();
+    const auto cb = b.canonicalChips();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i)
+        EXPECT_EQ(ca[i], cb[i]);
+}
+
+TEST(FleetConfigDeath, ValidateRejectsDuplicatesAndSerialZero)
+{
+    FleetConfig config;
+    config.chips = {ChipRef{sim::ChipCorner::TTT, 1},
+                    ChipRef{sim::ChipCorner::TTT, 1}};
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "duplicate chip TTT#1");
+    config.chips = {ChipRef{sim::ChipCorner::TTT, 0}};
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "serial 0");
+    config.chips.clear();
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "no chips");
+}
+
+TEST(FleetJournalHeader, IndependentOfChipEnumerationOrder)
+{
+    sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
+                           1);
+    FleetConfig a;
+    a.framework.workloads = {wl::findWorkload("bwaves/ref")};
+    a.framework.cores = {0, 2};
+    a.chips = parseFleetSpec({"TTT", "TFF:2", "TSS:3"});
+    FleetConfig b = a;
+    b.chips = parseFleetSpec({"TSS:3", "TFF:2", "TTT"});
+    EXPECT_EQ(fleetJournalHeaderFor(a, platform),
+              fleetJournalHeaderFor(b, platform));
+
+    // A different chip set must bind to a different journal.
+    FleetConfig c = a;
+    c.chips = parseFleetSpec({"TTT", "TFF:2"});
+    EXPECT_NE(fleetJournalHeaderFor(a, platform),
+              fleetJournalHeaderFor(c, platform));
+}
+
+TEST(FleetAnalytics, CornerSummariesSkipCensoredCells)
+{
+    const FleetReport fleet = madeFleet();
+    const auto summaries = fleet.cornerSummaries();
+    ASSERT_EQ(summaries.size(), 2u);
+
+    // kAllCorners order: TTT first.
+    const CornerSummary &ttt = summaries[0];
+    EXPECT_EQ(ttt.corner, sim::ChipCorner::TTT);
+    EXPECT_EQ(ttt.chips, 1);
+    EXPECT_EQ(ttt.cells, 3u) << "the censored cell is excluded";
+    EXPECT_EQ(ttt.bestVmin, 880);
+    EXPECT_EQ(ttt.worstVmin, 900);
+    EXPECT_NEAR(ttt.meanVmin, (900.0 + 890.0 + 880.0) / 3.0, 1e-9);
+    EXPECT_EQ(ttt.guardbandMv, 80);
+    EXPECT_NEAR(ttt.savingsPercent,
+                (1.0 - (900.0 / 980.0) * (900.0 / 980.0)) * 100.0,
+                1e-9);
+
+    const CornerSummary &tff = summaries[1];
+    EXPECT_EQ(tff.corner, sim::ChipCorner::TFF);
+    EXPECT_EQ(tff.cells, 4u);
+    EXPECT_EQ(tff.worstVmin, 870);
+}
+
+TEST(FleetAnalytics, FleetSavingsUsesFleetWideWorstVmin)
+{
+    const FleetReport fleet = madeFleet();
+    EXPECT_NEAR(fleet.fleetSavingsPercent(),
+                (1.0 - (900.0 / 980.0) * (900.0 / 980.0)) * 100.0,
+                1e-9);
+}
+
+TEST(FleetAnalytics, ComparisonTableHasChipColumns)
+{
+    const FleetReport fleet = madeFleet();
+    const std::string csv = fleet.comparisonCsv();
+    EXPECT_NE(csv.find("workload,TTT#1,TFF#1"), std::string::npos);
+    EXPECT_NE(csv.find("bwaves/ref,890,860"), std::string::npos);
+    EXPECT_NE(csv.find("mcf/ref,0,850"), std::string::npos)
+        << "best-core Vmin on TTT for mcf is the censored 0";
+}
+
+TEST(FleetAnalytics, SerializeCarriesAllSections)
+{
+    const FleetReport fleet = madeFleet();
+    const std::string text = fleet.serialize();
+    EXPECT_NE(text.find("# vmargin-fleet chips=2"),
+              std::string::npos);
+    EXPECT_NE(text.find("== chip TTT#1 =="), std::string::npos);
+    EXPECT_NE(text.find("== chip TFF#1 =="), std::string::npos);
+    EXPECT_NE(text.find("== corner summary =="), std::string::npos);
+    EXPECT_NE(text.find("== comparison =="), std::string::npos);
+    EXPECT_NE(text.find("fleet_savings_pct="), std::string::npos);
+}
+
+TEST(FleetReportTest, ReportLookupByChip)
+{
+    const FleetReport fleet = madeFleet();
+    EXPECT_EQ(fleet.report(ChipRef{sim::ChipCorner::TFF, 1})
+                  .chipName,
+              "TFF#1");
+}
+
+TEST(FleetReportDeath, ReportLookupOfForeignChipIsFatal)
+{
+    const FleetReport fleet = madeFleet();
+    EXPECT_EXIT((void)fleet.report(ChipRef{sim::ChipCorner::TSS, 9}),
+                ::testing::ExitedWithCode(1),
+                "TSS#9 is not in this fleet");
+}
+
+} // namespace
+} // namespace vmargin

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Fleet scheduling plane: supervisor aggregation (canonical-order
+ * summary independent of registration order, clamp/quarantine
+ * rollups), the printable fleet summary, and cross-chip allocation
+ * honoring per-node quarantine sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/fleet.hh"
+
+namespace vmargin::sched
+{
+namespace
+{
+
+DaemonResult
+madeResult(double savings, uint64_t crashes,
+           ClampReason clamp = ClampReason::None,
+           std::vector<CoreId> quarantined = {})
+{
+    DaemonResult result;
+    result.rounds.resize(20);
+    result.averageVoltage = 905.0;
+    result.energySavingsPercent = savings;
+    result.abnormalRounds = 2;
+    result.crashes = crashes;
+    result.watchdogResets = crashes / 2;
+    result.fallbackRounds = 1;
+    result.supervisor.enabled = true;
+    result.supervisor.guardSteps = 1;
+    result.supervisor.clampReason = clamp;
+    result.supervisor.quarantines = quarantined.empty() ? 0 : 1;
+    result.supervisor.readmissions = 0;
+    result.supervisor.canaryRounds = 3;
+    result.supervisor.canaryFailures = 1;
+    result.supervisor.pinnedRounds = 2;
+    result.supervisor.quarantinedCores = std::move(quarantined);
+    return result;
+}
+
+CellResult
+madeCell(const std::string &workload, CoreId core, MilliVolt vmin)
+{
+    CellResult cell;
+    cell.workloadId = workload;
+    cell.core = core;
+    cell.analysis.vmin = vmin;
+    return cell;
+}
+
+FleetReport
+madeFleet()
+{
+    FleetReport fleet;
+    fleet.nominalMv = 980;
+
+    // TTT part: weaker (higher Vmin). TFF part: robust.
+    FleetChipReport ttt;
+    ttt.chip = ChipRef{sim::ChipCorner::TTT, 1};
+    ttt.report.cells = {madeCell("bwaves/ref", 0, 900),
+                        madeCell("bwaves/ref", 1, 910),
+                        madeCell("mcf/ref", 0, 905),
+                        madeCell("mcf/ref", 1, 915)};
+
+    FleetChipReport tff;
+    tff.chip = ChipRef{sim::ChipCorner::TFF, 2};
+    tff.report.cells = {madeCell("bwaves/ref", 0, 860),
+                        madeCell("bwaves/ref", 1, 870),
+                        madeCell("mcf/ref", 0, 865),
+                        madeCell("mcf/ref", 1, 875)};
+
+    fleet.chips = {std::move(ttt), std::move(tff)};
+    return fleet;
+}
+
+TEST(FleetSupervisorTest, SummaryAggregatesAndOrdersCanonically)
+{
+    FleetSupervisor fleet;
+    // Registration order is deliberately not canonical.
+    fleet.addNode(ChipRef{sim::ChipCorner::TSS, 3},
+                  madeResult(8.0, 4, ClampReason::CrashStorm, {2}));
+    fleet.addNode(ChipRef{sim::ChipCorner::TTT, 1},
+                  madeResult(12.0, 0));
+    fleet.addNode(ChipRef{sim::ChipCorner::TFF, 2},
+                  madeResult(15.0, 2, ClampReason::None, {1, 5}));
+    ASSERT_EQ(fleet.nodes(), 3u);
+
+    const FleetSupervisorSummary summary = fleet.summary();
+    EXPECT_EQ(summary.nodes, 3u);
+    EXPECT_EQ(summary.roundsServed, 60u);
+    EXPECT_EQ(summary.abnormalRounds, 6u);
+    EXPECT_EQ(summary.crashes, 6u);
+    EXPECT_EQ(summary.quarantines, 2u);
+    EXPECT_EQ(summary.quarantinedCores, 3u);
+    EXPECT_EQ(summary.canaryRounds, 9u);
+    EXPECT_EQ(summary.pinnedRounds, 6u);
+    EXPECT_EQ(summary.clampedNodes, 1u);
+    EXPECT_NEAR(summary.meanSavingsPercent, 35.0 / 3.0, 1e-9);
+    EXPECT_NEAR(summary.worstSavingsPercent, 8.0, 1e-9);
+
+    // Canonical chip order regardless of registration order.
+    ASSERT_EQ(summary.nodeStates.size(), 3u);
+    EXPECT_EQ(summary.nodeStates[0].chip.name(), "TTT#1");
+    EXPECT_EQ(summary.nodeStates[1].chip.name(), "TFF#2");
+    EXPECT_EQ(summary.nodeStates[2].chip.name(), "TSS#3");
+    EXPECT_EQ(summary.nodeStates[2].clampReason,
+              ClampReason::CrashStorm);
+}
+
+TEST(FleetSupervisorTest, SummaryIndependentOfRegistrationOrder)
+{
+    FleetSupervisor a;
+    a.addNode(ChipRef{sim::ChipCorner::TTT, 1}, madeResult(12.0, 0));
+    a.addNode(ChipRef{sim::ChipCorner::TFF, 2}, madeResult(15.0, 2));
+    FleetSupervisor b;
+    b.addNode(ChipRef{sim::ChipCorner::TFF, 2}, madeResult(15.0, 2));
+    b.addNode(ChipRef{sim::ChipCorner::TTT, 1}, madeResult(12.0, 0));
+    EXPECT_EQ(formatFleetSummary(a.summary()),
+              formatFleetSummary(b.summary()));
+}
+
+TEST(FleetSupervisorDeath, DuplicateNodeIsFatal)
+{
+    FleetSupervisor fleet;
+    fleet.addNode(ChipRef{sim::ChipCorner::TTT, 1},
+                  madeResult(12.0, 0));
+    EXPECT_EXIT(fleet.addNode(ChipRef{sim::ChipCorner::TTT, 1},
+                              madeResult(9.0, 1)),
+                ::testing::ExitedWithCode(1), "already registered");
+}
+
+TEST(FleetSupervisorTest, FormatCarriesNodesAndQuarantine)
+{
+    FleetSupervisor fleet;
+    fleet.addNode(ChipRef{sim::ChipCorner::TTT, 1},
+                  madeResult(12.0, 3, ClampReason::CrashStorm,
+                             {0, 4}));
+    const std::string text = formatFleetSummary(fleet.summary());
+    EXPECT_NE(text.find("==== fleet supervisor ===="),
+              std::string::npos);
+    EXPECT_NE(text.find("nodes             : 1 (1 clamped)"),
+              std::string::npos);
+    EXPECT_NE(text.find("TTT#1"), std::string::npos);
+    EXPECT_NE(text.find("quarantined [0,4]"), std::string::npos);
+}
+
+TEST(FleetAllocator, PicksTheChipWithTheLowestRequiredVoltage)
+{
+    const FleetReport fleet = madeFleet();
+    const FleetAllocation chosen = allocateAcrossFleet(
+        fleet, {"bwaves/ref", "mcf/ref"});
+    EXPECT_EQ(chosen.chip.name(), "TFF#2");
+    EXPECT_EQ(chosen.allocation.requiredVoltage, 870);
+    EXPECT_EQ(chosen.allocation.placements.size(), 2u);
+}
+
+TEST(FleetAllocator, QuarantineRedirectsToAnotherChip)
+{
+    const FleetReport fleet = madeFleet();
+    // Quarantine one of the robust part's two cores: it can no
+    // longer host two jobs, so the weaker part takes them.
+    std::map<uint64_t, std::vector<CoreId>> quarantined;
+    quarantined[ChipRef{sim::ChipCorner::TFF, 2}.key()] = {1};
+    const FleetAllocation chosen = allocateAcrossFleet(
+        fleet, {"bwaves/ref", "mcf/ref"}, quarantined);
+    EXPECT_EQ(chosen.chip.name(), "TTT#1");
+}
+
+TEST(FleetAllocatorDeath, NoFeasibleChipIsFatal)
+{
+    const FleetReport fleet = madeFleet();
+    std::map<uint64_t, std::vector<CoreId>> quarantined;
+    quarantined[ChipRef{sim::ChipCorner::TTT, 1}.key()] = {0, 1};
+    quarantined[ChipRef{sim::ChipCorner::TFF, 2}.key()] = {0, 1};
+    EXPECT_EXIT((void)allocateAcrossFleet(
+                    fleet, {"bwaves/ref", "mcf/ref"}, quarantined),
+                ::testing::ExitedWithCode(1),
+                "no chip can host 2 jobs");
+}
+
+} // namespace
+} // namespace vmargin::sched

@@ -113,6 +113,61 @@ TEST(Cli, Positional)
     EXPECT_EQ(cli.positional()[1], "mcf");
 }
 
+TEST(Cli, RepeatableCollectsEveryOccurrence)
+{
+    CliParser cli("prog", "test");
+    cli.addRepeatable("chip", "fleet chip CORNER[:serial]");
+    const auto argv = argvOf(
+        {"prog", "--chip", "TTT", "--chip=TFF:2", "--chip", "TSS"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    const auto &chips = cli.values("chip");
+    ASSERT_EQ(chips.size(), 3u);
+    EXPECT_EQ(chips[0], "TTT");
+    EXPECT_EQ(chips[1], "TFF:2");
+    EXPECT_EQ(chips[2], "TSS");
+}
+
+TEST(Cli, RepeatableUnsetIsEmpty)
+{
+    CliParser cli("prog", "test");
+    cli.addRepeatable("chip", "fleet chip");
+    const auto argv = argvOf({"prog"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(cli.values("chip").empty());
+}
+
+TEST(Cli, RepeatableMissingValueFails)
+{
+    CliParser cli("prog", "test");
+    cli.addRepeatable("chip", "fleet chip");
+    const auto argv = argvOf({"prog", "--chip"});
+    EXPECT_FALSE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliDeath, ValueOnRepeatablePanics)
+{
+    CliParser cli("prog", "test");
+    cli.addRepeatable("chip", "fleet chip");
+    EXPECT_DEATH((void)cli.value("chip"), "repeatable");
+}
+
+TEST(CliDeath, ValuesOnScalarPanics)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    EXPECT_DEATH((void)cli.values("chip"), "not repeatable");
+}
+
+TEST(Cli, HelpMarksRepeatable)
+{
+    CliParser cli("prog", "test");
+    cli.addRepeatable("chip", "fleet chip");
+    std::ostringstream os;
+    cli.printHelp(os);
+    EXPECT_NE(os.str().find("(repeatable)"), std::string::npos);
+}
+
 TEST(Cli, HelpTextListsOptions)
 {
     CliParser cli("prog", "does things");
