@@ -31,12 +31,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hh"
 #include "core/resultstore.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "util/rng.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -119,12 +122,16 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    std::string telemetry_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            telemetry_path = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--json <path>] [--telemetry <path>]\n";
             return 2;
         }
     }
@@ -138,16 +145,38 @@ main(int argc, char **argv)
     if (hardware > 8)
         counts.push_back(hardware);
 
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_path.empty())
+        sink = std::make_unique<obs::TelemetrySink>(telemetry_path);
+
+    // Each series runs against a zeroed registry so its exact
+    // counters are comparable across worker counts — the telemetry
+    // side of the determinism contract the report hash asserts.
     std::vector<Series> series;
     std::string report_bytes;
+    std::string counters_json;
+    bool counters_deterministic = true;
     for (const int workers : counts) {
         std::cerr << "sweeping with " << workers << " worker"
                   << (workers == 1 ? "" : "s") << "...\n";
+        obs::Registry::global().reset();
         series.push_back(sweepWith(
             workers, series.empty() ? &report_bytes : nullptr));
+        const std::string counters =
+            obs::Registry::global().countersJson();
+        if (counters_json.empty()) {
+            counters_json = counters;
+        } else if (counters != counters_json) {
+            std::cerr << "FAIL: exact telemetry counters at "
+                      << workers
+                      << " workers differ from the 1-worker run\n";
+            counters_deterministic = false;
+        }
+        if (sink)
+            sink->flush();
     }
 
-    bool ok = true;
+    bool ok = counters_deterministic;
     for (const auto &s : series) {
         std::cout << util::padLeft(std::to_string(s.workers), 3)
                   << " workers: "
@@ -210,6 +239,9 @@ main(int argc, char **argv)
          << ",\"derive_ms_per_iter\":"
          << util::formatDouble(derive_ms, 4)
          << ",\"report_bytes\":" << report_bytes.size()
+         << ",\"telemetry\":" << counters_json
+         << ",\"telemetry_deterministic\":"
+         << (counters_deterministic ? "true" : "false")
          << ",\"deterministic\":" << (ok ? "true" : "false") << "}";
 
     std::cout << json.str() << "\n";

@@ -20,12 +20,15 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hh"
 #include "core/fleet.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "util/rng.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -105,12 +108,16 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    std::string telemetry_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            telemetry_path = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--json <path>] [--telemetry <path>]\n";
             return 2;
         }
     }
@@ -123,24 +130,46 @@ main(int argc, char **argv)
     const std::vector<int> fleet_sizes = {1, 2, 4};
     const std::vector<int> worker_counts = {1, 4, 8};
 
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_path.empty())
+        sink = std::make_unique<obs::TelemetrySink>(telemetry_path);
+
     std::vector<Series> series;
+    std::string counters_json;
     bool ok = true;
     for (const int chips : fleet_sizes) {
         Seed first_hash = 0;
+        std::string first_counters;
         for (const int workers : worker_counts) {
             std::cerr << "sweeping " << chips << " chip"
                       << (chips == 1 ? "" : "s") << " with "
                       << workers << " worker"
                       << (workers == 1 ? "" : "s") << "...\n";
+            // Zero the registry per series: exact counters must come
+            // out identical for every worker count of a fleet size.
+            obs::Registry::global().reset();
             const Series s =
                 sweepWith(chips, workers, fleetOf(chips));
+            const std::string counters =
+                obs::Registry::global().countersJson();
+            if (sink)
+                sink->flush();
             if (first_hash == 0) {
                 first_hash = s.reportHash;
+                first_counters = counters;
+                counters_json = counters; // largest fleet size wins
             } else if (s.reportHash != first_hash) {
                 std::cerr << "FAIL: " << chips << "-chip report at "
                           << workers
                           << " workers differs from the first "
                              "worker count (hash mismatch)\n";
+                ok = false;
+            } else if (counters != first_counters) {
+                std::cerr << "FAIL: " << chips
+                          << "-chip exact telemetry counters at "
+                          << workers
+                          << " workers differ from the first "
+                             "worker count\n";
                 ok = false;
             }
             series.push_back(s);
@@ -181,7 +210,9 @@ main(int argc, char **argv)
              << ",\"report_hash\":\"" << std::hex << s.reportHash
              << std::dec << "\"}";
     }
-    json << "],\"fleet_identical\":" << (ok ? "true" : "false")
+    json << "],\"telemetry\":"
+         << (counters_json.empty() ? "{}" : counters_json)
+         << ",\"fleet_identical\":" << (ok ? "true" : "false")
          << "}";
 
     std::cout << json.str() << "\n";

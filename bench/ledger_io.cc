@@ -35,12 +35,15 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/ledger.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "util/threadpool.hh"
@@ -449,15 +452,23 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    std::string telemetry_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            telemetry_path = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--json <path>] [--telemetry <path>]\n";
             return 2;
         }
     }
+
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_path.empty())
+        sink = std::make_unique<obs::TelemetrySink>(telemetry_path);
 
     util::printBanner(std::cout,
                       "results-plane I/O: ledger append / replay / "
@@ -468,10 +479,18 @@ main(int argc, char **argv)
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 
+    // Zero the registry so the embedded counters cover exactly this
+    // process's ledger traffic; snapshot once per stream size.
+    obs::Registry::global().reset();
     const std::vector<size_t> sizes = {1000, 10000, 100000};
     std::vector<SizeResult> results;
-    for (const size_t records : sizes)
+    for (const size_t records : sizes) {
         results.push_back(measure(records, dir));
+        if (sink)
+            sink->flush();
+    }
+    const std::string counters_json =
+        obs::Registry::global().countersJson();
     std::filesystem::remove_all(dir);
 
     for (const auto &r : results) {
@@ -545,6 +564,7 @@ main(int argc, char **argv)
          << util::formatDouble(big.appendSpeedup, 2)
          << ",\"replay_speedup_100k\":"
          << util::formatDouble(big.replaySpeedup, 2)
+         << ",\"telemetry\":" << counters_json
          << ",\"gates_passed\":" << (ok ? "true" : "false") << "}";
 
     std::cout << json.str() << "\n";

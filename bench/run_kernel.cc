@@ -30,6 +30,7 @@
 
 #include "sim/cache_hierarchy.hh"
 #include "sim/core.hh"
+#include "util/cli.hh"
 #include "util/rng.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -100,7 +101,8 @@ main(int argc, char **argv)
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--reps" && i + 1 < argc) {
-            repetitions = std::atoi(argv[++i]);
+            repetitions = static_cast<int>(
+                util::parseLong(argv[++i], "--reps"));
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--json <path>] [--reps <n>]\n";

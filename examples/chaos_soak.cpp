@@ -19,6 +19,7 @@
 #include <sstream>
 
 #include "core/predictor.hh"
+#include "obs/metrics.hh"
 #include "sched/daemon.hh"
 #include "sim/platform.hh"
 #include "util/cli.hh"
@@ -48,8 +49,13 @@ aggressivePlan(Seed seed)
 sched::DaemonResult
 soak(const CharacterizationReport &report,
      const std::vector<WorkloadCounters> &profiles, double tolerance,
-     int rounds, Seed seed, bool supervise)
+     int rounds, Seed seed, bool supervise,
+     const std::string &telemetry_path)
 {
+    // Zero the registry per session so the streamed telemetry covers
+    // exactly this soak, not the offline phase or the control run.
+    obs::Registry::global().reset();
+
     sim::Platform platform(sim::XGene2Params{}, sim::ChipCorner::TTT,
                            1);
     platform.installFaultPlan(aggressivePlan(99));
@@ -73,6 +79,7 @@ soak(const CharacterizationReport &report,
     sched::DaemonOptions options;
     options.maxEpochs = 8;
     options.supervise = supervise;
+    options.telemetryPath = telemetry_path;
     const sched::DaemonResult result = daemon.run(
         {{"bwaves/ref", 0}, {"namd/ref", 4}}, rounds, seed, options);
 
@@ -134,6 +141,9 @@ main(int argc, char **argv)
                   "severity tolerance (deliberately reckless)");
     cli.addOption("seed", "11", "session seed");
     cli.addOption("json", "", "telemetry JSON output path");
+    cli.addOption("telemetry", "",
+                  "append JSONL telemetry snapshots to this file "
+                  "(supervised session only)");
     if (!cli.parse(argc, argv))
         return 1;
 
@@ -161,10 +171,13 @@ main(int argc, char **argv)
 
     std::cout << "soak: " << rounds << " rounds at tolerance "
               << tolerance << " under aggressive faults\n\n";
+    // Only the supervised session streams telemetry: the control run
+    // would interleave its snapshots into the same JSONL file.
     const auto unsupervised =
-        soak(report, profiles, tolerance, rounds, seed, false);
+        soak(report, profiles, tolerance, rounds, seed, false, "");
     const auto supervised =
-        soak(report, profiles, tolerance, rounds, seed, true);
+        soak(report, profiles, tolerance, rounds, seed, true,
+             cli.value("telemetry"));
 
     std::cout << "unsupervised control:\n"
               << formatDaemonSummary(unsupervised) << '\n'

@@ -37,6 +37,8 @@ main(int argc, char **argv)
     cli.addOption("start", "930", "sweep start voltage (mV)");
     cli.addOption("end", "830", "sweep floor voltage (mV)");
     cli.addOption("csv", "", "write the per-run CSV to this file");
+    cli.addOption("telemetry", "",
+                  "append JSONL telemetry snapshots to this file");
     cli.addOption("config", "",
                   "key=value setup file overriding the options "
                   "above (see FrameworkConfig::fromConfig)");
@@ -62,8 +64,7 @@ main(int argc, char **argv)
         for (const auto &token :
              util::split(cli.value("cores"), ','))
             config.cores.push_back(static_cast<CoreId>(
-                std::strtol(util::trim(token).c_str(), nullptr,
-                            10)));
+                util::parseLong(util::trim(token), "--cores")));
         config.campaigns =
             static_cast<int>(cli.intValue("campaigns"));
         config.frequency =
@@ -73,6 +74,8 @@ main(int argc, char **argv)
         config.endVoltage =
             static_cast<MilliVolt>(cli.intValue("end"));
     }
+    if (!cli.value("telemetry").empty())
+        config.telemetryPath = cli.value("telemetry");
 
     std::cout << "chip " << platform.chip().name() << " at "
               << config.frequency << " MHz, cores";

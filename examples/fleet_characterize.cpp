@@ -46,6 +46,8 @@ main(int argc, char **argv)
                   "shared fleet journal for kill-safe resume");
     cli.addOption("report", "",
                   "write the full serialized fleet report here");
+    cli.addOption("telemetry", "",
+                  "append JSONL telemetry snapshots to this file");
     cli.addFlag("full-suite",
                 "characterize all 40 workload samples instead of "
                 "the 10 headline benchmarks");
@@ -63,7 +65,7 @@ main(int argc, char **argv)
                                      : wl::headlineSuite();
     for (const auto &token : util::split(cli.value("cores"), ','))
         config.framework.cores.push_back(static_cast<CoreId>(
-            std::strtol(util::trim(token).c_str(), nullptr, 10)));
+            util::parseLong(util::trim(token), "--cores")));
     config.framework.campaigns =
         static_cast<int>(cli.intValue("campaigns"));
     config.framework.frequency =
@@ -75,6 +77,7 @@ main(int argc, char **argv)
     config.framework.workers =
         static_cast<int>(cli.intValue("workers"));
     config.framework.journalPath = cli.value("journal");
+    config.framework.telemetryPath = cli.value("telemetry");
 
     std::cout << "fleet of " << config.chips.size() << " chips:";
     for (const ChipRef &chip : config.canonicalChips())

@@ -16,7 +16,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "core/framework.hh"
@@ -59,14 +58,10 @@ main(int argc, char **argv)
         static_cast<uint32_t>(cli.intValue("serial"));
 
     sim::FaultPlanConfig faults;
-    faults.i2cWriteFailure =
-        std::strtod(cli.value("i2c-fail").c_str(), nullptr);
-    faults.watchdogMiss =
-        std::strtod(cli.value("wd-miss").c_str(), nullptr);
-    faults.managementHang =
-        std::strtod(cli.value("hang").c_str(), nullptr);
-    faults.staleRead =
-        std::strtod(cli.value("stale").c_str(), nullptr);
+    faults.i2cWriteFailure = cli.doubleValue("i2c-fail");
+    faults.watchdogMiss = cli.doubleValue("wd-miss");
+    faults.managementHang = cli.doubleValue("hang");
+    faults.staleRead = cli.doubleValue("stale");
     faults.seed =
         static_cast<Seed>(cli.intValue("fault-seed"));
     faults.validate();
@@ -76,8 +71,8 @@ main(int argc, char **argv)
                         wl::findWorkload("leslie3d/ref")};
     config.cores.clear();
     for (const auto &token : util::split(cli.value("cores"), ','))
-        config.cores.push_back(static_cast<CoreId>(std::strtol(
-            util::trim(token).c_str(), nullptr, 10)));
+        config.cores.push_back(static_cast<CoreId>(
+            util::parseLong(util::trim(token), "--cores")));
     config.campaigns = static_cast<int>(cli.intValue("campaigns"));
     config.maxEpochs = 8;
     config.startVoltage = 930;

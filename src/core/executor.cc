@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "cellcache.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "resultstore.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
@@ -104,9 +106,43 @@ CampaignExecutor::CampaignExecutor(sim::Platform *prototype)
         util::panicf("CampaignExecutor: null platform");
 }
 
+namespace
+{
+
+/** The executor's telemetry handles, fetched once per run(). */
+struct ExecutorStats
+{
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &cellsPlanned =
+        reg.counter("executor.cells_planned");
+    obs::Counter &cellsFresh = reg.counter("executor.cells_fresh");
+    obs::Counter &cellsFromJournal =
+        reg.counter("executor.cells_from_journal");
+    obs::Counter &cacheHits = reg.counter("executor.cache_hits");
+    obs::Counter &cacheMisses =
+        reg.counter("executor.cache_misses");
+    obs::SpanStat &planSpan = reg.span("executor.plan");
+    obs::SpanStat &executeSpan = reg.span("executor.execute");
+    obs::SpanStat &mergeSpan = reg.span("executor.merge");
+    obs::SpanStat &cellSpan = reg.span("executor.cell");
+    obs::SpanStat &mergeBarrier =
+        reg.span("executor.merge_barrier");
+};
+
+} // namespace
+
 CharacterizationReport
 CampaignExecutor::run(const FrameworkConfig &config)
 {
+    ExecutorStats stats;
+    // The sink (when enabled) is strictly out-of-band: it reads the
+    // registry at deterministic boundaries and never feeds anything
+    // back into the report.
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!config.telemetryPath.empty())
+        sink = std::make_unique<obs::TelemetrySink>(
+            config.telemetryPath);
+
     CharacterizationReport report;
     report.chipName = prototype_->chip().name();
     report.corner = prototype_->chip().corner();
@@ -142,36 +178,47 @@ CampaignExecutor::run(const FrameworkConfig &config)
     std::vector<PlanEntry> plan;
     plan.reserve(config.workloads.size() * config.cores.size());
     int fresh_cells = 0;
-    for (const auto &workload : config.workloads) {
-        for (const CoreId core : config.cores) {
-            PlanEntry entry;
-            entry.workload = &workload;
-            entry.core = core;
-            const CellMeasurement *served =
-                journal ? journal->find(chip, workload.id(), core)
+    {
+        obs::ScopedSpan planning(stats.planSpan);
+        for (const auto &workload : config.workloads) {
+            for (const CoreId core : config.cores) {
+                PlanEntry entry;
+                entry.workload = &workload;
+                entry.core = core;
+                const CellMeasurement *served =
+                    journal
+                        ? journal->find(chip, workload.id(), core)
                         : nullptr;
-            if (served) {
-                entry.fromJournal = true;
-            } else if (cache &&
-                       (served = cache->find(config_hash, chip,
-                                             workload.id(), core))) {
-                entry.fromCache = true;
-            } else if (config.cellBudget > 0 &&
-                       fresh_cells >= config.cellBudget) {
-                // Session budget spent; the journal holds what
-                // finished, a later call picks up from here.
-                report.complete = false;
-                break;
-            } else {
-                ++fresh_cells;
+                if (served) {
+                    entry.fromJournal = true;
+                    stats.cellsFromJournal.inc();
+                } else if (cache &&
+                           (served = cache->find(config_hash, chip,
+                                                 workload.id(),
+                                                 core))) {
+                    entry.fromCache = true;
+                    stats.cacheHits.inc();
+                } else if (config.cellBudget > 0 &&
+                           fresh_cells >= config.cellBudget) {
+                    // Session budget spent; the journal holds what
+                    // finished, a later call picks up from here.
+                    report.complete = false;
+                    break;
+                } else {
+                    if (cache)
+                        stats.cacheMisses.inc();
+                    ++fresh_cells;
+                }
+                if (served)
+                    entry.replayed = *served;
+                plan.push_back(std::move(entry));
             }
-            if (served)
-                entry.replayed = *served;
-            plan.push_back(std::move(entry));
+            if (!report.complete)
+                break;
         }
-        if (!report.complete)
-            break;
     }
+    stats.cellsPlanned.inc(plan.size());
+    stats.cellsFresh.inc(static_cast<uint64_t>(fresh_cells));
 
     // ---- execute: fresh cells fan out across the pool -----------
     // Each task measures on a brand-new platform replica, so no
@@ -182,11 +229,13 @@ CampaignExecutor::run(const FrameworkConfig &config)
     // order, under their own locks.
     std::vector<CellMeasurement> measured(plan.size());
     {
+        obs::ScopedSpan executing(stats.executeSpan);
         util::ThreadPool pool(config.workers);
         for (size_t i = 0; i < plan.size(); ++i) {
             if (!plan[i].fresh())
                 continue;
             pool.submit([&, i] {
+                obs::ScopedSpan cellSpan(stats.cellSpan);
                 auto replica = prototype_->freshReplica();
                 CampaignRunner runner(replica.get());
                 CellMeasurement cell = measureCellWith(
@@ -199,7 +248,10 @@ CampaignExecutor::run(const FrameworkConfig &config)
                 measured[i] = std::move(cell);
             });
         }
-        pool.wait();
+        {
+            obs::ScopedSpan barrier(stats.mergeBarrier);
+            pool.wait();
+        }
         // Merge barrier doubles as the durability barrier: a batched
         // group-commit policy drains here, so everything measured
         // this session is on disk before the report is assembled.
@@ -208,28 +260,39 @@ CampaignExecutor::run(const FrameworkConfig &config)
         if (cache)
             cache->flush();
     }
+    if (sink)
+        sink->flush(); // all execute-phase counters are booked
 
     // ---- merge: canonical order, independent of completion ------
     // One LedgerView pass over the merged run stream derives every
     // cell's analysis; cells keep first-seen (= plan, = canonical)
     // order, so the report is byte-identical for any worker count.
     LedgerView view(config.weights);
-    for (size_t i = 0; i < plan.size(); ++i) {
-        const CellMeasurement &cell_measured =
-            plan[i].fresh() ? measured[i] : plan[i].replayed;
-        if (plan[i].fromJournal)
-            ++report.telemetry.journalReplays;
-        if (plan[i].fromCache)
-            ++report.telemetry.cacheHits;
-        mergeCellIntoReport(report, view, cell_measured);
+    {
+        obs::ScopedSpan merging(stats.mergeSpan);
+        for (size_t i = 0; i < plan.size(); ++i) {
+            const CellMeasurement &cell_measured =
+                plan[i].fresh() ? measured[i] : plan[i].replayed;
+            if (plan[i].fromJournal)
+                ++report.telemetry.journalReplays;
+            if (plan[i].fromCache)
+                ++report.telemetry.cacheHits;
+            mergeCellIntoReport(report, view, cell_measured);
+        }
+        // Derive the per-cell analyses across the same worker budget
+        // the sweep ran on; cellResults() then reads the memoized
+        // analyses back in canonical order, so the report bytes are
+        // identical for any worker count (including the serial
+        // path).
+        view.deriveAll(config.workers);
+        report.cells = view.cellResults();
     }
-    // Derive the per-cell analyses across the same worker budget the
-    // sweep ran on; cellResults() then reads the memoized analyses
-    // back in canonical order, so the report bytes are identical for
-    // any worker count (including the serial path).
-    view.deriveAll(config.workers);
-    report.cells = view.cellResults();
 
+    // The sink's destructor would drain too, but an explicit final
+    // flush keeps the line count deterministic (plan+execute line,
+    // end-of-run line) before any caller-side snapshots.
+    if (sink)
+        sink->flush();
     return report;
 }
 

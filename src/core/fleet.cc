@@ -8,6 +8,8 @@
 
 #include "cellcache.hh"
 #include "executor.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "resultstore.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -312,6 +314,23 @@ FleetExecutor::run(const FleetConfig &config)
     const FrameworkConfig &fw = config.framework;
     const std::vector<ChipRef> chips = config.canonicalChips();
 
+    // Fleet telemetry: chip/cell counts are exact; barrier wait and
+    // per-chip merge durations are scheduling-class by nature.
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &statChips = reg.counter("fleet.chips");
+    obs::Counter &statCellsPlanned =
+        reg.counter("fleet.cells_planned");
+    obs::Counter &statCellsMeasured =
+        reg.counter("fleet.cells_measured");
+    obs::SpanStat &statMergeBarrier =
+        reg.span("fleet.merge_barrier");
+    obs::SpanStat &statChipMerge = reg.span("fleet.chip_merge");
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!fw.telemetryPath.empty())
+        sink = std::make_unique<obs::TelemetrySink>(
+            fw.telemetryPath);
+    statChips.inc(chips.size());
+
     FleetReport fleet;
     fleet.frequency = fw.frequency;
     fleet.nominalMv =
@@ -391,6 +410,14 @@ FleetExecutor::run(const FleetConfig &config)
     // ---- execute: fresh cells fan out across one shared pool -----
     // Same isolation contract as the single-chip executor: each
     // task measures on a brand-new replica of its chip's prototype.
+    // Per-chip shard progress counters are registered in canonical
+    // chip order (deterministic) before any worker can touch them.
+    statCellsPlanned.inc(plan.size());
+    std::vector<obs::Counter *> chipProgress;
+    chipProgress.reserve(chips.size());
+    for (const ChipRef &chip : chips)
+        chipProgress.push_back(
+            &reg.counter("fleet.chip." + chip.name() + ".cells"));
     std::vector<CellMeasurement> measured(plan.size());
     {
         util::ThreadPool pool(fw.workers);
@@ -410,14 +437,21 @@ FleetExecutor::run(const FleetConfig &config)
                     cache->put(config_hashes[plan[i].chipIndex],
                                cell);
                 measured[i] = std::move(cell);
+                statCellsMeasured.inc();
+                chipProgress[plan[i].chipIndex]->inc();
             });
         }
-        pool.wait();
+        {
+            obs::ScopedSpan barrier(statMergeBarrier);
+            pool.wait();
+        }
         if (journal)
             journal->flush();
         if (cache)
             cache->flush();
     }
+    if (sink)
+        sink->flush(); // end of the measurement phase
 
     // ---- merge: canonical chip-major order -----------------------
     // One LedgerView per chip reproduces the single-chip merge
@@ -425,6 +459,7 @@ FleetExecutor::run(const FleetConfig &config)
     // lone CampaignExecutor would emit for that chip.
     fleet.chips.reserve(chips.size());
     for (size_t ci = 0; ci < chips.size(); ++ci) {
+        obs::ScopedSpan merging(statChipMerge);
         FleetChipReport entry;
         entry.chip = chips[ci];
         entry.report.chipName = prototypes[ci]->chip().name();
@@ -449,6 +484,8 @@ FleetExecutor::run(const FleetConfig &config)
         fleet.chips.push_back(std::move(entry));
     }
 
+    if (sink)
+        sink->flush(); // end-of-run drain before the report returns
     return fleet;
 }
 

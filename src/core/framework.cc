@@ -6,6 +6,7 @@
 
 #include "executor.hh"
 #include "resultstore.hh"
+#include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -28,13 +29,9 @@ FrameworkConfig::fromConfig(const util::ConfigFile &file)
 
     config.cores.clear();
     if (file.has("cores")) {
-        for (const auto &token : file.getList("cores")) {
-            if (!util::isInteger(token))
-                util::fatalError("config key 'cores': '" + token +
-                                 "' is not a core id");
+        for (const auto &token : file.getList("cores"))
             config.cores.push_back(static_cast<CoreId>(
-                std::strtol(token.c_str(), nullptr, 10)));
-        }
+                util::parseLong(token, "config key 'cores'")));
     } else {
         for (CoreId c = 0; c < 8; ++c)
             config.cores.push_back(c);
@@ -58,6 +55,8 @@ FrameworkConfig::fromConfig(const util::ConfigFile &file)
     config.workers =
         static_cast<int>(file.getInt("workers", config.workers));
     config.cachePath = file.get("cache", config.cachePath);
+    config.telemetryPath =
+        file.get("telemetry", config.telemetryPath);
     config.flushEveryCells = static_cast<int>(file.getInt(
         "flush_every_cells", config.flushEveryCells));
     config.flushIntervalMs = static_cast<int>(file.getInt(

@@ -73,6 +73,15 @@ struct FrameworkConfig
     std::string cachePath;
 
     /**
+     * Telemetry JSONL path (empty = telemetry sink off, config key
+     * telemetry). When set, the executor appends registry snapshots
+     * at deterministic phase boundaries plus an end-of-run drain.
+     * Strictly out-of-band: report bytes are identical with the
+     * sink on or off.
+     */
+    std::string telemetryPath;
+
+    /**
      * Group-commit policy for the journal and the cache: flush after
      * this many appended cells (config key flush_every_cells). 1 —
      * the default — is the historical write-ahead contract, one

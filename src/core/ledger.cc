@@ -666,7 +666,13 @@ LedgerWriteOptions::validate(const std::string &name) const
 }
 
 LedgerWriter::LedgerWriter(std::string path, std::string name)
-    : path_(std::move(path)), name_(std::move(name))
+    : path_(std::move(path)), name_(std::move(name)),
+      statAppendBytes_(
+          obs::Registry::global().counter("ledger.append_bytes")),
+      statAppendUnits_(
+          obs::Registry::global().counter("ledger.append_units")),
+      statFlushBatches_(obs::Registry::global().counter(
+          "ledger.flush_batches", obs::Stability::Sched))
 {
 }
 
@@ -728,6 +734,8 @@ LedgerWriter::append(std::string_view bytes,
                          "' before open");
     pending_.append(bytes.data(), bytes.size());
     ++pendingUnits_;
+    statAppendBytes_.inc(bytes.size());
+    statAppendUnits_.inc();
     bool due = pendingUnits_ >=
                static_cast<size_t>(options.flushEveryCells);
     if (!due && options.flushIntervalMs > 0)
@@ -753,6 +761,7 @@ LedgerWriter::flush()
     pending_.clear();
     pendingUnits_ = 0;
     lastFlush_ = std::chrono::steady_clock::now();
+    statFlushBatches_.inc();
 }
 
 void
@@ -826,6 +835,15 @@ RunLedger::open(const std::string &app_header,
     // record frames tolerate corruption (skip) and truncation
     // (stop): the tail a killed process was writing is re-run, not
     // trusted.
+    // Replay telemetry: what the file contained is a pure function
+    // of what previous sessions wrote, so all three are exact-class.
+    obs::Counter &statReplayFrames =
+        obs::Registry::global().counter("ledger.replay_frames");
+    obs::Counter &statReplaySkipped =
+        obs::Registry::global().counter("ledger.replay_skipped");
+    obs::Counter &statTornTails = obs::Registry::global().counter(
+        "ledger.torn_tail_truncations");
+
     bool saw_header = false;
     CellMeasurement pending;
     bool pending_corrupt = false;
@@ -873,6 +891,7 @@ RunLedger::open(const std::string &app_header,
         if (status == FrameCursor::Status::End)
             break;
         if (status == FrameCursor::Status::Truncated) {
+            statTornTails.inc();
             if (bytes.size() - cursor.offset() < kFramePrefixBytes)
                 util::warnf(name_, ": '", path_,
                             "' ends in a truncated frame prefix; "
@@ -883,6 +902,8 @@ RunLedger::open(const std::string &app_header,
                             "discarding the tail");
             break;
         }
+
+        statReplayFrames.inc();
 
         if (!saw_header) {
             // First frame binds the file: framing version and the
@@ -917,6 +938,7 @@ RunLedger::open(const std::string &app_header,
         }
 
         if (ledgerChecksum(payload) != checksum) {
+            statReplaySkipped.inc();
             util::warnf(name_, ": '", path_,
                         "' frame checksum mismatch; skipping the "
                         "record");
@@ -933,6 +955,7 @@ RunLedger::open(const std::string &app_header,
         // LedgerRecord (whose SupervisorCheckpoint member would cost
         // two vector constructions per frame).
         const auto markMalformed = [&]() {
+            statReplaySkipped.inc();
             util::warnf(name_, ": '", path_,
                         "' malformed record; skipping it");
             pending_corrupt = true;

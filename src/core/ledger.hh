@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "classifier.hh"
+#include "obs/metrics.hh"
 #include "recovery.hh"
 #include "regions.hh"
 #include "sim/param.hh"
@@ -441,6 +442,13 @@ class LedgerWriter
     size_t pendingUnits_ = 0;  ///< commit units inside pending_
     uint64_t committedBytes_ = 0;
     std::chrono::steady_clock::time_point lastFlush_{};
+
+    // Telemetry. Appended bytes/units are a pure function of what
+    // the campaign measured (Exact); the *batch* count depends on
+    // the interval trigger firing, so it is scheduling-class.
+    obs::Counter &statAppendBytes_;
+    obs::Counter &statAppendUnits_;
+    obs::Counter &statFlushBatches_;
 };
 
 /**

@@ -1,0 +1,77 @@
+#include "sink.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace vmargin::obs
+{
+
+namespace
+{
+
+/** User-facing fatal (bad path, disk full): message then exit(1),
+ *  mirroring util::fatalError without depending on the util layer
+ *  (which sits above obs). */
+[[noreturn]] void
+sinkFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+TelemetrySink::TelemetrySink(std::string path, Registry *registry,
+                             const Clock *clock)
+    : path_(std::move(path)), registry_(registry), clock_(clock)
+{
+    if (path_.empty())
+        sinkFatal("telemetry: empty sink path");
+    if (!registry_ || !clock_)
+        sinkFatal("telemetry: null registry or clock");
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_)
+        sinkFatal("telemetry: cannot create '" + path_ +
+                  "': " + std::strerror(errno));
+    lastFlushNs_ = clock_->steadyNanos();
+}
+
+TelemetrySink::~TelemetrySink()
+{
+    if (!file_)
+        return;
+    flush();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+void
+TelemetrySink::flush()
+{
+    const std::string line =
+        registry_->snapshotJson(++seq_, *clock_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fputc('\n', file_) == EOF ||
+        std::fflush(file_) != 0)
+        sinkFatal("telemetry: write to '" + path_ +
+                  "' failed at snapshot " + std::to_string(seq_) +
+                  ": " + std::strerror(errno));
+    lastFlushNs_ = clock_->steadyNanos();
+}
+
+void
+TelemetrySink::maybeFlush(int interval_ms)
+{
+    if (interval_ms > 0) {
+        const uint64_t elapsed =
+            clock_->steadyNanos() - lastFlushNs_;
+        if (elapsed <
+            static_cast<uint64_t>(interval_ms) * 1000000ull)
+            return;
+    }
+    flush();
+}
+
+} // namespace vmargin::obs

@@ -7,6 +7,8 @@
 
 #include "core/effects.hh"
 #include "core/resultstore.hh"
+#include "obs/metrics.hh"
+#include "obs/sink.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "workloads/spec.hh"
@@ -309,6 +311,24 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
 
     managed_.setPolicy(options.retry);
 
+    // Round telemetry. The daemon loop is single-threaded and every
+    // round is a pure function of (seed, round), so all of these are
+    // exact-class; only the round *duration* is scheduling-bound.
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &statRoundsServed =
+        reg.counter("daemon.rounds_served");
+    obs::Counter &statRoundsReplayed =
+        reg.counter("daemon.rounds_replayed");
+    obs::Counter &statFallbacks =
+        reg.counter("daemon.nominal_fallbacks");
+    obs::Counter &statReexecutions =
+        reg.counter("daemon.reexecutions");
+    obs::SpanStat &statRoundSpan = reg.span("daemon.round");
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!options.telemetryPath.empty())
+        sink = std::make_unique<obs::TelemetrySink>(
+            options.telemetryPath);
+
     std::optional<MarginSupervisor> supervisor;
     if (options.supervise) {
         supervisor.emplace(options.supervisor);
@@ -382,6 +402,7 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
             else if (!platform_->responsive())
                 platform_->powerCycle();
             result.replayedRounds = journal->rounds().size();
+            statRoundsReplayed.inc(result.replayedRounds);
         }
     }
 
@@ -398,6 +419,8 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
             break;
         }
         ++fresh_served;
+        statRoundsServed.inc();
+        obs::ScopedSpan roundSpan(statRoundSpan);
 
         // Every round draws faults from its own (seed, round)
         // sub-stream — see roundFaultScope.
@@ -453,6 +476,7 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
                 platform_->responsive()
                     ? FallbackReason::RetriesExhausted
                     : FallbackReason::MachineUnresponsive);
+            statFallbacks.inc();
         }
 
         std::vector<CoreRoundEvents> events;
@@ -513,6 +537,7 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
                         .runEnergy(placement.core, redo, temp)
                         .total();
                 ++record.reexecutions;
+                statReexecutions.inc();
                 // Back to the round's operating point for the
                 // remaining tasks.
                 if (platform_->responsive())
@@ -567,6 +592,8 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
                 managed_.telemetry().since(telemetry_before));
             journal->append(record, ck);
         }
+        if (sink)
+            sink->maybeFlush(1000); // periodic, time-gated
     }
 
     // Session durability barrier: a batched flushEveryRounds policy
@@ -649,6 +676,8 @@ GovernorDaemon::run(const std::vector<Placement> &placements,
         result.supervisor.quarantinedCores =
             supervisor->quarantinedCores();
     }
+    if (sink)
+        sink->flush(); // end-of-run drain
     return result;
 }
 

@@ -113,6 +113,14 @@ struct DaemonOptions
      * journal binding header, like journalPath itself.
      */
     int flushEveryRounds = 1;
+
+    /**
+     * Telemetry JSONL path (empty = sink off). One snapshot per
+     * served round batch plus an end-of-run drain. Out-of-band:
+     * the daemon report is byte-identical with the sink on or off,
+     * and excluded from the journal binding header.
+     */
+    std::string telemetryPath;
 };
 
 /** Supervisor outcome summary inside a daemon result. */

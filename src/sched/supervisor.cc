@@ -95,7 +95,17 @@ MarginSupervisor::CoreState::score(
 }
 
 MarginSupervisor::MarginSupervisor(SupervisorOptions options)
-    : options_(options)
+    : options_(options),
+      statQuarantineEntries_(obs::Registry::global().counter(
+          "supervisor.quarantine_entries")),
+      statQuarantineExits_(obs::Registry::global().counter(
+          "supervisor.quarantine_exits")),
+      statEmergencyClamps_(obs::Registry::global().counter(
+          "supervisor.emergency_clamps")),
+      statBackoffs_(
+          obs::Registry::global().counter("supervisor.backoffs")),
+      statNarrows_(
+          obs::Registry::global().counter("supervisor.narrows"))
 {
     options_.validate();
 }
@@ -160,6 +170,7 @@ MarginSupervisor::escalate(ClampReason reason)
     if (clampReason_ == ClampReason::None &&
         reason != ClampReason::None) {
         clampReason_ = reason;
+        statEmergencyClamps_.inc();
         util::warnf("supervisor: emergency nominal clamp (",
                     clampReasonName(reason), ")");
     }
@@ -249,6 +260,7 @@ MarginSupervisor::observeRound(
                 state.crashRate = 0.0;
                 state.cleanInQuarantine = 0;
                 ++readmissions_;
+                statQuarantineExits_.inc();
             }
         } else {
             ++canaryFailures_;
@@ -269,6 +281,7 @@ MarginSupervisor::observeRound(
                                    options_.backoffGuardSteps);
         peakGuardSteps_ = std::max(peakGuardSteps_, guardSteps_);
         ++backoffEvents_;
+        statBackoffs_.inc();
         cleanStreak_ = 0;
     } else {
         ++cleanStreak_;
@@ -277,6 +290,7 @@ MarginSupervisor::observeRound(
             guardSteps_ > 0) {
             --guardSteps_;
             ++narrowEvents_;
+            statNarrows_.inc();
             cleanStreak_ = 0;
         }
     }
@@ -290,6 +304,7 @@ MarginSupervisor::observeRound(
             state.mode = CoreMode::Quarantined;
             state.cleanInQuarantine = 0;
             ++quarantines_;
+            statQuarantineEntries_.inc();
             util::warnf("supervisor: quarantining core ", core,
                         " (score ", state.score(options_),
                         " > threshold ", options_.quarantineScore,

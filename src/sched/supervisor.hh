@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/ledger.hh"
+#include "obs/metrics.hh"
 #include "util/types.hh"
 
 namespace vmargin::sched
@@ -249,6 +250,16 @@ class MarginSupervisor
     uint64_t canaryFailures_ = 0;
     uint64_t pinnedRounds_ = 0;
     std::vector<uint32_t> recentCrashRounds_;
+
+    // Telemetry (exact-class: the daemon loop is single-threaded and
+    // every event is a pure function of the session's seed). Unlike
+    // the members above these count only *this process's* events —
+    // restore() never rewinds them.
+    obs::Counter &statQuarantineEntries_;
+    obs::Counter &statQuarantineExits_;
+    obs::Counter &statEmergencyClamps_;
+    obs::Counter &statBackoffs_;
+    obs::Counter &statNarrows_;
 };
 
 } // namespace vmargin::sched

@@ -1,5 +1,8 @@
 #include "cli.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,6 +11,35 @@
 
 namespace vmargin::util
 {
+
+long
+parseLong(const std::string &text, const std::string &context)
+{
+    if (!isInteger(text))
+        fatalError(concat(context, ": '", text,
+                          "' is not an integer"));
+    errno = 0;
+    const long value = std::strtol(text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        fatalError(concat(context, ": '", text,
+                          "' is out of range (does not fit a ",
+                          sizeof(long) * 8, "-bit integer)"));
+    return value;
+}
+
+double
+parseDouble(const std::string &text, const std::string &context)
+{
+    if (!isNumber(text))
+        fatalError(concat(context, ": '", text,
+                          "' is not a number"));
+    errno = 0;
+    const double value = std::strtod(text.c_str(), nullptr);
+    if (errno == ERANGE && std::fabs(value) == HUGE_VAL)
+        fatalError(concat(context, ": '", text,
+                          "' overflows a double"));
+    return value;
+}
 
 CliParser::CliParser(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary))
@@ -127,21 +159,13 @@ CliParser::values(const std::string &name) const
 long
 CliParser::intValue(const std::string &name) const
 {
-    const std::string &text = value(name);
-    if (!isInteger(text))
-        fatalError(concat("option --", name, ": '", text,
-                          "' is not an integer"));
-    return std::strtol(text.c_str(), nullptr, 10);
+    return parseLong(value(name), "option --" + name);
 }
 
 double
 CliParser::doubleValue(const std::string &name) const
 {
-    const std::string &text = value(name);
-    if (!isNumber(text))
-        fatalError(concat("option --", name, ": '", text,
-                          "' is not a number"));
-    return std::strtod(text.c_str(), nullptr);
+    return parseDouble(value(name), "option --" + name);
 }
 
 bool
@@ -156,20 +180,31 @@ CliParser::flag(const std::string &name) const
 void
 CliParser::printHelp(std::ostream &out) const
 {
+    // The help column starts two spaces past the longest rendered
+    // option (never narrower than the historical 28-char pad), so a
+    // long option name widens the whole table instead of jamming
+    // into its own help text.
+    const auto renderLeft = [this](const std::string &name) {
+        std::string left = "  --" + name;
+        if (!options_.at(name).isFlag)
+            left += " <value>";
+        return left;
+    };
+    size_t width = 28;
+    for (const auto &name : order_)
+        width = std::max(width, renderLeft(name).size() + 2);
+
     out << program_ << " - " << summary_ << "\n\noptions:\n";
     for (const auto &name : order_) {
         const Option &opt = options_.at(name);
-        std::string left = "  --" + name;
-        if (!opt.isFlag)
-            left += " <value>";
-        out << padRight(left, 28) << opt.help;
+        out << padRight(renderLeft(name), width) << opt.help;
         if (opt.isRepeatable)
             out << " (repeatable)";
         else if (!opt.isFlag && !opt.value.empty())
             out << " (default: " << opt.value << ")";
         out << '\n';
     }
-    out << padRight("  --help", 28) << "show this message\n";
+    out << padRight("  --help", width) << "show this message\n";
 }
 
 } // namespace vmargin::util

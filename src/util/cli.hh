@@ -22,6 +22,26 @@
 namespace vmargin::util
 {
 
+/**
+ * Parse the whole of @p text as a base-10 signed integer. Fatal —
+ * naming @p context and the offending value — when the text is not
+ * an integer or does not fit a long (strtol's silent LONG_MAX/
+ * LONG_MIN clamp is rejected via ERANGE). Every CLI, config and
+ * example argument parse routes through here so out-of-range input
+ * fails loudly instead of clamping.
+ */
+long parseLong(const std::string &text, const std::string &context);
+
+/**
+ * Parse the whole of @p text as a floating-point number. Fatal —
+ * naming @p context and the value — when the text is not a number
+ * or overflows to +-HUGE_VAL. Gradual underflow to a denormal (or
+ * zero) is accepted: it is a representable result, not a silent
+ * clamp.
+ */
+double parseDouble(const std::string &text,
+                   const std::string &context);
+
 /** GNU-style "--name value" / "--name=value" / "--flag" parser. */
 class CliParser
 {

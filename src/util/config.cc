@@ -1,9 +1,9 @@
 #include "config.hh"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "cli.hh"
 #include "logging.hh"
 #include "strings.hh"
 
@@ -69,11 +69,8 @@ ConfigFile::getInt(const std::string &key, long fallback) const
 {
     if (!has(key))
         return fallback;
-    const std::string &text = values_.at(key);
-    if (!isInteger(text))
-        fatalError(concat("config key '", key, "': '", text,
-                          "' is not an integer"));
-    return std::strtol(text.c_str(), nullptr, 10);
+    return parseLong(values_.at(key),
+                     concat("config key '", key, "'"));
 }
 
 double
@@ -81,11 +78,8 @@ ConfigFile::getDouble(const std::string &key, double fallback) const
 {
     if (!has(key))
         return fallback;
-    const std::string &text = values_.at(key);
-    if (!isNumber(text))
-        fatalError(concat("config key '", key, "': '", text,
-                          "' is not a number"));
-    return std::strtod(text.c_str(), nullptr);
+    return parseDouble(values_.at(key),
+                       concat("config key '", key, "'"));
 }
 
 bool

@@ -13,6 +13,14 @@ ThreadPool::defaultWorkerCount()
 }
 
 ThreadPool::ThreadPool(int workers)
+    : statTasks_(obs::Registry::global().counter(
+          "threadpool.tasks", obs::Stability::Sched)),
+      statSteals_(obs::Registry::global().counter(
+          "threadpool.steals", obs::Stability::Sched)),
+      statIdleNs_(obs::Registry::global().counter(
+          "threadpool.idle_ns", obs::Stability::Sched)),
+      statQueuePeak_(
+          obs::Registry::global().gauge("threadpool.queue_peak"))
 {
     if (workers < 0)
         fatalError("threadpool: negative worker count");
@@ -71,7 +79,9 @@ ThreadPool::submit(std::function<void()> task)
         ++queued_;
         target = nextQueue_;
         nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        statQueuePeak_.max(static_cast<int64_t>(queued_));
     }
+    statTasks_.inc();
     {
         std::lock_guard<std::mutex> lock(queues_[target]->mutex);
         queues_[target]->tasks.push_back(std::move(task));
@@ -106,6 +116,7 @@ ThreadPool::takeTask(size_t self, std::function<void()> &out)
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
+            statSteals_.inc();
             return true;
         }
     }
@@ -134,9 +145,13 @@ ThreadPool::workerLoop(size_t self)
         std::unique_lock<std::mutex> lock(mutex_);
         if (stopping_)
             return;
+        const uint64_t idleFrom =
+            obs::SystemClock::instance().steadyNanos();
         workAvailable_.wait(lock, [this] {
             return stopping_ || queued_ > 0;
         });
+        statIdleNs_.inc(obs::SystemClock::instance().steadyNanos() -
+                        idleFrom);
     }
 }
 

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace vmargin::util
 {
 
@@ -101,6 +103,14 @@ class ThreadPool
     size_t queued_ = 0;     ///< submitted but not yet taken tasks
     size_t nextQueue_ = 0;  ///< round-robin submit cursor
     bool stopping_ = false;
+
+    // Telemetry (scheduling-class: task placement, steals and idle
+    // time all depend on the OS scheduler). Handles are fetched once
+    // at construction; the hot paths only touch relaxed atomics.
+    obs::Counter &statTasks_;
+    obs::Counter &statSteals_;
+    obs::Counter &statIdleNs_;
+    obs::Gauge &statQueuePeak_;
 };
 
 } // namespace vmargin::util

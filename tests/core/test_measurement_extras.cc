@@ -133,7 +133,8 @@ TEST(FrameworkConfigFile, FatalOnBadCore)
     const auto file =
         util::ConfigFile::fromText("cores = zero\n");
     EXPECT_EXIT(FrameworkConfig::fromConfig(file),
-                ::testing::ExitedWithCode(1), "not a core id");
+                ::testing::ExitedWithCode(1),
+                "config key 'cores': 'zero' is not an integer");
 }
 
 TEST(FrameworkConfigFile, FatalOnUnknownWorkload)

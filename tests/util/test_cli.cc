@@ -181,5 +181,123 @@ TEST(Cli, HelpTextListsOptions)
     EXPECT_NE(help.find("TTT"), std::string::npos);
 }
 
+/** Column where the help text starts on one rendered option row,
+ *  i.e. the first non-space past the option name. */
+size_t
+helpColumn(const std::string &row)
+{
+    const size_t name_end = row.find(' ', row.find("--"));
+    if (name_end == std::string::npos)
+        return std::string::npos;
+    return row.find_first_not_of(' ', row.find("<value>") !=
+                                             std::string::npos
+                                         ? row.find("<value>") + 7
+                                         : name_end);
+}
+
+TEST(Cli, HelpAlignsLongOptionNames)
+{
+    // A name past the historical 28-char pad used to jam its help
+    // text against the option; every row must now share one column.
+    CliParser cli("prog", "test");
+    cli.addOption("chip", "TTT", "chip corner");
+    cli.addOption("quarantine-hold-rounds-before-canary", "3",
+                  "a deliberately long knob");
+    cli.addFlag("verbose", "chatty");
+    std::ostringstream os;
+    cli.printHelp(os);
+
+    std::vector<std::string> rows;
+    std::istringstream in(os.str());
+    for (std::string line; std::getline(in, line);)
+        if (line.find("  --") == 0)
+            rows.push_back(line);
+    ASSERT_GE(rows.size(), 4u); // 3 options + --help
+
+    const size_t column = helpColumn(rows.front());
+    ASSERT_NE(column, std::string::npos);
+    for (const auto &row : rows) {
+        EXPECT_EQ(helpColumn(row), column) << "misaligned: " << row;
+        // And the long option itself must keep >= 2 spaces of gap.
+        EXPECT_NE(row.substr(column - 2, 2), "e>")
+            << "help text jammed against the option: " << row;
+    }
+}
+
+TEST(CliDeath, IntValueOverflowIsFatal)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("runs", "10", "run count");
+    const auto argv =
+        argvOf({"prog", "--runs", "99999999999999999999"});
+    ASSERT_TRUE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EXIT((void)cli.intValue("runs"),
+                ::testing::ExitedWithCode(1),
+                "option --runs: '99999999999999999999' is out of "
+                "range");
+}
+
+TEST(CliDeath, IntValueRejectsNonInteger)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("runs", "10", "run count");
+    const auto argv = argvOf({"prog", "--runs", "ten"});
+    ASSERT_TRUE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EXIT((void)cli.intValue("runs"),
+                ::testing::ExitedWithCode(1),
+                "option --runs: 'ten' is not an integer");
+}
+
+TEST(CliDeath, DoubleValueOverflowIsFatal)
+{
+    CliParser cli("prog", "test");
+    cli.addOption("frac", "0.2", "fraction");
+    const auto argv = argvOf({"prog", "--frac", "1e999"});
+    ASSERT_TRUE(
+        cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EXIT((void)cli.doubleValue("frac"),
+                ::testing::ExitedWithCode(1),
+                "option --frac: '1e999' overflows a double");
+}
+
+TEST(Parse, ParseLongRoundTrips)
+{
+    EXPECT_EQ(parseLong("42", "t"), 42);
+    EXPECT_EQ(parseLong("-7", "t"), -7);
+    EXPECT_EQ(parseLong("0", "t"), 0);
+}
+
+TEST(Parse, ParseDoubleRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("0.25", "t"), 0.25);
+    EXPECT_DOUBLE_EQ(parseDouble("-3e2", "t"), -300.0);
+    // Gradual underflow is a representable result, not an error.
+    EXPECT_GE(parseDouble("1e-320", "t"), 0.0);
+}
+
+TEST(ParseDeath, ParseLongRejectsGarbageAndRange)
+{
+    EXPECT_EXIT((void)parseLong("12abc", "ctx"),
+                ::testing::ExitedWithCode(1),
+                "ctx: '12abc' is not an integer");
+    EXPECT_EXIT((void)parseLong("", "ctx"),
+                ::testing::ExitedWithCode(1),
+                "ctx: '' is not an integer");
+    EXPECT_EXIT((void)parseLong("-99999999999999999999", "ctx"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ParseDeath, ParseDoubleRejectsGarbageAndOverflow)
+{
+    EXPECT_EXIT((void)parseDouble("fast", "ctx"),
+                ::testing::ExitedWithCode(1),
+                "ctx: 'fast' is not a number");
+    EXPECT_EXIT((void)parseDouble("-1e999", "ctx"),
+                ::testing::ExitedWithCode(1),
+                "overflows a double");
+}
+
 } // namespace
 } // namespace vmargin::util
